@@ -1,0 +1,137 @@
+// Command skipbench regenerates the paper's evaluation: each subcommand
+// reproduces one figure or table of §5 on the host machine, printing a
+// text table (and optionally CSV) whose series match the paper's legends.
+//
+// Usage:
+//
+//	skipbench fig5 -mix a..f   # Figure 5: throughput vs thread count
+//	skipbench fig6             # Figure 6: split roles vs range length
+//	skipbench table1           # Table 1: fast-path aborts per query
+//	skipbench all              # everything
+//
+// Flags:
+//
+//	-duration d   trial length (default 2s; paper uses 3s)
+//	-trials n     trials per data point (default 1; paper uses 5)
+//	-universe n   key universe size (default 1000000)
+//	-threads list comma-separated thread counts (default: host-scaled sweep)
+//	-csv file     append machine-readable rows to file
+//	-quick        smoke-test mode (200ms trials, 2^16 universe)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		mix      = fs.String("mix", "a", "figure 5 workload letter (a-f)")
+		duration = fs.Duration("duration", 2*time.Second, "trial length")
+		trials   = fs.Int("trials", 1, "trials per data point")
+		universe = fs.Int64("universe", 1_000_000, "key universe size")
+		threads  = fs.String("threads", "", "comma-separated thread counts")
+		csvPath  = fs.String("csv", "", "append CSV rows to this file")
+		quick    = fs.Bool("quick", false, "smoke-test mode")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Duration: *duration,
+		Trials:   *trials,
+		Universe: *universe,
+	}
+	if *quick {
+		opts.Duration = 200 * time.Millisecond
+		opts.Universe = 1 << 16
+		if *threads == "" {
+			opts.Threads = []int{1, 4}
+		}
+	}
+	if *threads != "" {
+		parsed, err := parseThreads(*threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skipbench:", err)
+			os.Exit(2)
+		}
+		opts.Threads = parsed
+	}
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skipbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.CSV = f
+	}
+
+	var err error
+	switch cmd {
+	case "fig5":
+		err = bench.Fig5(os.Stdout, *mix, opts)
+	case "fig6":
+		err = bench.Fig6(os.Stdout, opts)
+	case "table1":
+		err = bench.Table1(os.Stdout, opts)
+	case "all":
+		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
+			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Fig6(os.Stdout, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Table1(os.Stdout, opts)
+		}
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "skipbench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skipbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|all> [flags]
+
+Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
+Transactional Memory". Run "skipbench <cmd> -h" for flags.`)
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1", []int{1}, false},
+		{"1,4,8", []int{1, 4, 8}, false},
+		{" 2 , 6 ", []int{2, 6}, false},
+		{"", nil, true},
+		{"0", nil, true},
+		{"-3", nil, true},
+		{"x", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseThreads(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseThreads(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseThreads(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseThreads(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command skipstress hammers a skip hash with a mixed workload while
+// continuously auditing correctness evidence: per-key linearization
+// balances, range-query snapshot sanity, and (at the end) the full
+// structural invariant check including deferred-reclamation drainage.
+// It is the repository's long-running confidence tool; CI runs the same
+// checks in miniature through the test suite.
+//
+// Usage:
+//
+//	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/skiphash"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "stress duration")
+		universe = flag.Int64("universe", 1<<16, "key universe")
+		mode     = flag.String("mode", "two-path", "range path: two-path, fast, or slow")
+		rangeLen = flag.Int64("rangelen", 128, "range query length")
+	)
+	flag.Parse()
+
+	cfg := skiphash.Config{}
+	switch *mode {
+	case "fast":
+		cfg.FastOnly = true
+	case "slow":
+		cfg.SlowOnly = true
+	case "two-path":
+	default:
+		fmt.Fprintf(os.Stderr, "skipstress: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	m := skiphash.NewInt64[int64](cfg)
+
+	fmt.Printf("skipstress: %d threads, %v, universe %d, mode %s\n",
+		*threads, *duration, *universe, *mode)
+
+	perKey := make([]atomic.Int64, *universe)
+	var ops, ranges, failures atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < *threads; t++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+			var buf []skiphash.Pair[int64, int64]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for i := 0; i < 32; i++ {
+					k := int64(rng.Uint64() % uint64(*universe))
+					switch rng.Uint64() % 8 {
+					case 0, 1, 2:
+						if h.Insert(k, k) {
+							perKey[k].Add(1)
+						}
+					case 3, 4, 5:
+						if h.Remove(k) {
+							perKey[k].Add(-1)
+						}
+					case 6:
+						if v, ok := h.Lookup(k); ok && v != k {
+							fmt.Fprintf(os.Stderr, "FAIL: Lookup(%d) = %d\n", k, v)
+							failures.Add(1)
+						}
+					case 7:
+						buf = h.Range(k, k+*rangeLen, buf[:0])
+						last := int64(-1)
+						for _, p := range buf {
+							if p.Key < k || p.Key > k+*rangeLen || p.Key <= last || p.Val != p.Key {
+								fmt.Fprintf(os.Stderr, "FAIL: bad range pair %+v in [%d,%d]\n",
+									p, k, k+*rangeLen)
+								failures.Add(1)
+								break
+							}
+							last = p.Key
+						}
+						ranges.Add(1)
+					}
+					ops.Add(1)
+				}
+			}
+		}(uint64(t) + 1)
+	}
+	time.Sleep(*duration)
+	close(done)
+	wg.Wait()
+
+	// Post-quiescence audits.
+	m.Quiesce()
+	bad := 0
+	for k := int64(0); k < *universe; k++ {
+		balance := perKey[k].Load()
+		_, present := m.Lookup(k)
+		want := int64(0)
+		if present {
+			want = 1
+		}
+		if balance != want {
+			if bad < 10 {
+				fmt.Fprintf(os.Stderr, "FAIL: key %d balance %d present %v\n", k, balance, present)
+			}
+			bad++
+		}
+	}
+	if err := m.CheckInvariants(skiphash.CheckOptions{}); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: invariants: %v\n", err)
+		bad++
+	}
+	s := m.RangeStats()
+	fmt.Printf("ops=%d ranges=%d fast=%d slow=%d fast-aborts=%d\n",
+		ops.Load(), ranges.Load(), s.FastCommits, s.SlowCommits, s.FastAborts)
+	if bad > 0 || failures.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "skipstress: FAILED (%d balance errors, %d online failures)\n",
+			bad, failures.Load())
+		os.Exit(1)
+	}
+	fmt.Println("skipstress: PASS")
+}

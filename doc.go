@@ -1,0 +1,6 @@
+// Package repro is a from-scratch Go reproduction of "Skip Hash: A Fast
+// Ordered Map Via Software Transactional Memory" (Rodriguez, Aksenov,
+// Spear). The public API lives in repro/skiphash; the experiment drivers
+// in cmd/skipbench regenerate every figure and table of the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

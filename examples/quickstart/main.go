@@ -1,0 +1,54 @@
+// Quickstart: the skip hash's elemental operations, point queries, range
+// queries, and the transactional batch API, on one goroutine.
+package main
+
+import (
+	"fmt"
+
+	"repro/skiphash"
+)
+
+func main() {
+	// A map from int64 keys to string values. The zero Config selects
+	// the paper's recommended two-path range queries.
+	m := skiphash.NewInt64[string](skiphash.Config{})
+
+	// Elemental operations are O(1) expected: the hash half of the
+	// composition routes straight to the node.
+	for i, name := range []string{"ares", "boreas", "chronos", "demeter", "eos"} {
+		m.Insert(int64(i*10), name)
+	}
+	if v, ok := m.Lookup(20); ok {
+		fmt.Println("Lookup(20) =", v)
+	}
+	m.Remove(30)
+
+	// Point queries fall back to the skip list half only when the key
+	// is absent.
+	if k, v, ok := m.Ceil(25); ok {
+		fmt.Printf("Ceil(25) = %d (%s)\n", k, v)
+	}
+	if k, v, ok := m.Pred(20); ok {
+		fmt.Printf("Pred(20) = %d (%s)\n", k, v)
+	}
+
+	// Range queries are linearizable: they observe one atomic snapshot.
+	fmt.Print("Range(0, 40):")
+	for _, p := range m.Range(0, 40, nil) {
+		fmt.Printf(" %d=%s", p.Key, p.Val)
+	}
+	fmt.Println()
+
+	// STM composability: several operations as one indivisible step.
+	_ = m.Atomic(func(op *skiphash.Txn[int64, string]) error {
+		v, _ := op.Lookup(40)
+		op.Remove(40)
+		op.Insert(35, v) // rename key 40 -> 35 atomically
+		return nil
+	})
+	fmt.Print("after atomic move:")
+	for _, p := range m.Range(0, 40, nil) {
+		fmt.Printf(" %d=%s", p.Key, p.Val)
+	}
+	fmt.Println()
+}

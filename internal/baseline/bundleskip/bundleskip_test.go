@@ -1,0 +1,86 @@
+package bundleskip
+
+import (
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/maptest"
+)
+
+func TestConformanceHybridSource(t *testing.T) {
+	maptest.RunAll(t, func() maptest.OrderedMap {
+		return New(Config{Source: epoch.NewHybridSource()})
+	})
+}
+
+func TestConformanceCounterSource(t *testing.T) {
+	maptest.RunAll(t, func() maptest.OrderedMap {
+		return New(Config{Source: epoch.NewCounterSource()})
+	})
+}
+
+func TestConformanceNoGC(t *testing.T) {
+	maptest.RunAll(t, func() maptest.OrderedMap {
+		return New(Config{GCEvery: -1})
+	})
+}
+
+func TestConformanceTinyTowers(t *testing.T) {
+	maptest.RunAll(t, func() maptest.OrderedMap {
+		return New(Config{MaxLevel: 2})
+	})
+}
+
+func TestBundleHistoryPreservesSnapshot(t *testing.T) {
+	m := New(Config{Source: epoch.NewCounterSource(), GCEvery: -1})
+	for k := int64(0); k < 8; k++ {
+		m.Insert(k, k)
+	}
+	ts, ticket := m.tracker.Begin(m.src)
+	m.Remove(3)
+	m.Insert(100, 100)
+	// Replay the bundle traversal at ts: it must see 3 and not 100.
+	var keys []int64
+	cur := m.head
+	for {
+		nxt := m.bundleAt(cur, ts)
+		if nxt == nil || nxt.sentinel > 0 {
+			break
+		}
+		keys = append(keys, nxt.key)
+		cur = nxt
+	}
+	m.tracker.Exit(ticket)
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	if len(keys) != len(want) {
+		t.Fatalf("snapshot keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("snapshot keys = %v, want %v", keys, want)
+		}
+	}
+	// A fresh range sees the update.
+	now := m.Range(0, 200, nil)
+	if len(now) != 8 || now[len(now)-1].Key != 100 {
+		t.Errorf("current range = %v", now)
+	}
+}
+
+func TestBundlePruning(t *testing.T) {
+	m := New(Config{Source: epoch.NewCounterSource(), GCEvery: 1})
+	m.Insert(1, 1)
+	// Churn a neighbor so head's bundle grows and gets pruned (no
+	// active snapshots, so pruning can cut to one entry).
+	for i := 0; i < 200; i++ {
+		m.Insert(0, 0)
+		m.Remove(0)
+	}
+	depth := 0
+	for e := m.bundle(m.head); e != nil; e = e.next.Load() {
+		depth++
+	}
+	if depth > 8 {
+		t.Errorf("head bundle depth = %d after churn with GC, want small", depth)
+	}
+}

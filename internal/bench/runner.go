@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workload is an operation mix over a uniform key universe (§5.1).
+type Workload struct {
+	// Name labels the workload in reports ("100%-lookup", ...).
+	Name string
+	// LookupPct, UpdatePct and RangePct must sum to 100. Updates split
+	// evenly between insertions and removals, keeping the population
+	// stable at half the universe.
+	LookupPct, UpdatePct, RangePct int
+	// RangeLen is added to a uniform l to form [l, l+RangeLen] (default
+	// 100, processing 50 pairs on average at half population).
+	RangeLen int64
+	// Universe is the key universe size (default 10^6).
+	Universe int64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Universe == 0 {
+		w.Universe = 1_000_000
+	}
+	if w.RangeLen == 0 {
+		w.RangeLen = 100
+	}
+	return w
+}
+
+// RunConfig fixes the execution parameters of one trial.
+type RunConfig struct {
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Duration is the measurement window per trial (paper: 3 s).
+	Duration time.Duration
+	// Trials averages this many runs (paper: 5). Default 1.
+	Trials int
+	// Seed perturbs the per-worker RNG streams.
+	Seed uint64
+}
+
+// Result is a trial's aggregate outcome.
+type Result struct {
+	// Ops counts completed operations of all types.
+	Ops uint64
+	// RangeOps counts completed range queries.
+	RangeOps uint64
+	// RangePairs counts pairs copied by range queries.
+	RangePairs uint64
+	// Elapsed is the wall-clock measurement time.
+	Elapsed time.Duration
+}
+
+// Mops is throughput in millions of operations per second.
+func (r Result) Mops() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Ops) / 1e6 / r.Elapsed.Seconds()
+}
+
+// RangePairsPerSec is range-query throughput in pairs processed per
+// second (Figure 6's lower chart).
+func (r Result) RangePairsPerSec() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.RangePairs) / r.Elapsed.Seconds()
+}
+
+// Prefill populates m with half the universe. Keys are inserted in a
+// random order (the evaluation framework draws keys uniformly), which
+// matters for the unbalanced external BST baseline: sequential insertion
+// would degenerate it into a list. It returns the population.
+func Prefill(m Map, universe int64, seed uint64) int64 {
+	perm := rand.New(rand.NewPCG(seed, 0x5eed)).Perm(int(universe))
+	target := universe / 2
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 16 {
+		workers = 16
+	}
+	var population atomic.Int64
+	var wg sync.WaitGroup
+	chunk := (target + int64(workers) - 1) / int64(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := int64(wkr) * chunk
+		hi := lo + chunk
+		if hi > target {
+			hi = target
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			w := m.NewWorker()
+			n := int64(0)
+			for i := lo; i < hi; i++ {
+				k := int64(perm[i])
+				if w.Insert(k, k) {
+					n++
+				}
+			}
+			population.Add(n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return population.Load()
+}
+
+// Run executes the workload against a freshly prefilled map and returns
+// the averaged result. The map must be empty when passed in.
+func Run(m Map, w Workload, rc RunConfig) Result {
+	w = w.withDefaults()
+	if rc.Trials == 0 {
+		rc.Trials = 1
+	}
+	Prefill(m, w.Universe, rc.Seed+1)
+	var sum Result
+	for trial := 0; trial < rc.Trials; trial++ {
+		r := runTrial(m, w, rc, uint64(trial))
+		sum.Ops += r.Ops
+		sum.RangeOps += r.RangeOps
+		sum.RangePairs += r.RangePairs
+		sum.Elapsed += r.Elapsed
+	}
+	return sum
+}
+
+func runTrial(m Map, w Workload, rc RunConfig, trial uint64) Result {
+	type counters struct {
+		ops, rangeOps, rangePairs uint64
+		_                         [5]uint64 // pad to a cache line
+	}
+	counts := make([]counters, rc.Threads)
+	var start, stop sync.WaitGroup
+	done := make(chan struct{})
+	start.Add(1)
+	for t := 0; t < rc.Threads; t++ {
+		stop.Add(1)
+		go func(id int) {
+			defer stop.Done()
+			wk := m.NewWorker()
+			rng := rand.New(rand.NewPCG(rc.Seed+uint64(id)+trial*1000, 0x9e37))
+			c := &counts[id]
+			start.Wait()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// A small batch per check keeps the channel poll off
+				// the per-op path.
+				for i := 0; i < 64; i++ {
+					die := int(rng.Uint64() % 100)
+					k := int64(rng.Uint64() % uint64(w.Universe))
+					switch {
+					case die < w.LookupPct:
+						wk.Lookup(k)
+					case die < w.LookupPct+w.UpdatePct:
+						if rng.Uint64()&1 == 0 {
+							wk.Insert(k, k)
+						} else {
+							wk.Remove(k)
+						}
+					default:
+						n := wk.Range(k, k+w.RangeLen)
+						c.rangePairs += uint64(n)
+						c.rangeOps++
+					}
+					c.ops++
+				}
+			}
+		}(t)
+	}
+	began := time.Now()
+	start.Done()
+	time.Sleep(rc.Duration)
+	close(done)
+	stop.Wait()
+	elapsed := time.Since(began)
+	var r Result
+	for i := range counts {
+		r.Ops += counts[i].ops
+		r.RangeOps += counts[i].rangeOps
+		r.RangePairs += counts[i].rangePairs
+	}
+	r.Elapsed = elapsed
+	return r
+}
+
+// SplitResult is the outcome of a split-role trial (Figure 6): update
+// throughput and range throughput measured independently.
+type SplitResult struct {
+	UpdateOps  uint64
+	RangeOps   uint64
+	RangePairs uint64
+	Elapsed    time.Duration
+}
+
+// UpdateMops is update throughput in millions of operations per second.
+func (r SplitResult) UpdateMops() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.UpdateOps) / 1e6 / r.Elapsed.Seconds()
+}
+
+// RangePairsPerSec is range throughput in pairs processed per second.
+func (r SplitResult) RangePairsPerSec() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.RangePairs) / r.Elapsed.Seconds()
+}
+
+// RunSplit executes Figure 6's experiment: updateThreads run 100%
+// updates while rangeThreads run 100% range queries of the given length.
+// The map is prefilled to half the universe first.
+func RunSplit(m Map, updateThreads, rangeThreads int, rangeLen, universe int64, rc RunConfig) SplitResult {
+	if universe == 0 {
+		universe = 1_000_000
+	}
+	if rc.Trials == 0 {
+		rc.Trials = 1
+	}
+	Prefill(m, universe, rc.Seed+1)
+	var sum SplitResult
+	for trial := 0; trial < rc.Trials; trial++ {
+		r := runSplitTrial(m, updateThreads, rangeThreads, rangeLen, universe, rc, uint64(trial))
+		sum.UpdateOps += r.UpdateOps
+		sum.RangeOps += r.RangeOps
+		sum.RangePairs += r.RangePairs
+		sum.Elapsed += r.Elapsed
+	}
+	return sum
+}
+
+func runSplitTrial(m Map, updateThreads, rangeThreads int, rangeLen, universe int64, rc RunConfig, trial uint64) SplitResult {
+	var updateOps, rangeOps, rangePairs atomic.Uint64
+	var start, stop sync.WaitGroup
+	done := make(chan struct{})
+	start.Add(1)
+	for t := 0; t < updateThreads; t++ {
+		stop.Add(1)
+		go func(id int) {
+			defer stop.Done()
+			wk := m.NewWorker()
+			rng := rand.New(rand.NewPCG(rc.Seed+uint64(id)+trial*1000, 0xabc1))
+			ops := uint64(0)
+			start.Wait()
+			for {
+				select {
+				case <-done:
+					updateOps.Add(ops)
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					k := int64(rng.Uint64() % uint64(universe))
+					if rng.Uint64()&1 == 0 {
+						wk.Insert(k, k)
+					} else {
+						wk.Remove(k)
+					}
+					ops++
+				}
+			}
+		}(t)
+	}
+	for t := 0; t < rangeThreads; t++ {
+		stop.Add(1)
+		go func(id int) {
+			defer stop.Done()
+			wk := m.NewWorker()
+			rng := rand.New(rand.NewPCG(rc.Seed+uint64(id)+trial*1000, 0xabc2))
+			ops, pairs := uint64(0), uint64(0)
+			start.Wait()
+			for {
+				select {
+				case <-done:
+					rangeOps.Add(ops)
+					rangePairs.Add(pairs)
+					return
+				default:
+				}
+				l := int64(rng.Uint64() % uint64(universe))
+				pairs += uint64(wk.Range(l, l+rangeLen))
+				ops++
+			}
+		}(t)
+	}
+	began := time.Now()
+	start.Done()
+	time.Sleep(rc.Duration)
+	close(done)
+	stop.Wait()
+	return SplitResult{
+		UpdateOps:  updateOps.Load(),
+		RangeOps:   rangeOps.Load(),
+		RangePairs: rangePairs.Load(),
+		Elapsed:    time.Since(began),
+	}
+}
+
+// ThreadCounts returns the sweep axis for Figure 5, scaled to the host:
+// the paper sweeps 1..96 on a 48-core box; here the axis stops at twice
+// GOMAXPROCS (matching the paper's use of SMT beyond the core count).
+func ThreadCounts() []int {
+	maxThreads := 2 * runtime.GOMAXPROCS(0)
+	candidates := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96}
+	var out []int
+	for _, c := range candidates {
+		if c <= maxThreads {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+)
+
+// CheckOptions tunes the invariant audit.
+type CheckOptions struct {
+	// AllowDeleted permits logically deleted nodes to remain stitched
+	// (true while slow-path queries or unflushed removal buffers may
+	// hold them; false after Quiesce on an otherwise idle map with no
+	// in-flight queries).
+	AllowDeleted bool
+}
+
+// CheckInvariants audits the composition without transactional
+// protection; the map must be quiescent. It verifies:
+//
+//   - the skip list is sorted at every level, with equal keys only among
+//     logically deleted nodes ordered before their live replacement;
+//   - prev/next links mirror each other at every level and every tower
+//     member appears at level 0;
+//   - the hash index and the set of logically present skip list nodes
+//     are identical (the paper's central invariant: "the hash map always
+//     reflects the current logical state");
+//   - insertion times never exceed removal times on deleted nodes.
+func (m *Map[K, V]) CheckInvariants(opts CheckOptions) error {
+	// Collect the level-0 chain.
+	live := make(map[K]*node[K, V])
+	level0 := make(map[*node[K, V]]bool)
+	var prev *node[K, V] = m.head
+	for cur := m.head.next[0].Raw(); ; cur = cur.next[0].Raw() {
+		if cur == nil {
+			return fmt.Errorf("level 0: nil link")
+		}
+		if back := cur.prev[0].Raw(); back != prev {
+			return fmt.Errorf("level 0: prev link of %v broken", cur.key)
+		}
+		if cur.sentinel > 0 {
+			break
+		}
+		if cur.sentinel < 0 {
+			return fmt.Errorf("level 0: head reachable mid-chain")
+		}
+		level0[cur] = true
+		deleted := cur.rTime.Raw() != rTimeNone
+		if deleted && !opts.AllowDeleted {
+			return fmt.Errorf("deleted node %v still stitched", cur.key)
+		}
+		if deleted && cur.rTime.Raw() < cur.iTime {
+			return fmt.Errorf("node %v removed at %d before inserted at %d",
+				cur.key, cur.rTime.Raw(), cur.iTime)
+		}
+		if prev.sentinel == 0 {
+			switch {
+			case m.less(prev.key, cur.key):
+				// strictly ascending: fine
+			case m.less(cur.key, prev.key):
+				return fmt.Errorf("level 0: order violation %v > %v", prev.key, cur.key)
+			default:
+				// Equal keys: every node but the last among equals must
+				// be logically deleted (§4.2).
+				if prev.rTime.Raw() == rTimeNone {
+					return fmt.Errorf("duplicate live key %v", prev.key)
+				}
+			}
+		}
+		if !deleted {
+			if _, dup := live[cur.key]; dup {
+				return fmt.Errorf("two live nodes for key %v", cur.key)
+			}
+			live[cur.key] = cur
+		}
+		prev = cur
+	}
+	// Upper levels must be sub-chains of level 0 with mirrored links.
+	for l := 1; l < m.cfg.MaxLevel; l++ {
+		prev = m.head
+		for cur := m.head.next[l].Raw(); ; cur = cur.next[l].Raw() {
+			if cur == nil {
+				return fmt.Errorf("level %d: nil link", l)
+			}
+			if back := cur.prev[l].Raw(); back != prev {
+				return fmt.Errorf("level %d: prev link of %v broken", l, cur.key)
+			}
+			if cur.sentinel > 0 {
+				break
+			}
+			if cur.height() <= l {
+				return fmt.Errorf("level %d: node %v of height %d present", l, cur.key, cur.height())
+			}
+			if !level0[cur] {
+				return fmt.Errorf("level %d: node %v missing from level 0", l, cur.key)
+			}
+			prev = cur
+		}
+	}
+	// The hash index must match the live set exactly.
+	indexed := 0
+	var indexErr error
+	m.index.ForEachSlow(func(k K, n *node[K, V]) bool {
+		indexed++
+		ln, ok := live[k]
+		if !ok {
+			indexErr = fmt.Errorf("index maps %v to a node that is not live in the list", k)
+			return false
+		}
+		if ln != n {
+			indexErr = fmt.Errorf("index maps %v to a stale node", k)
+			return false
+		}
+		return true
+	})
+	if indexErr != nil {
+		return indexErr
+	}
+	if indexed != len(live) {
+		return fmt.Errorf("index has %d entries but list has %d live nodes", indexed, len(live))
+	}
+	return nil
+}
+
+// SizeSlow counts logically present nodes without transactional
+// protection; the map must be quiescent.
+func (m *Map[K, V]) SizeSlow() int {
+	n := 0
+	for cur := m.head.next[0].Raw(); cur.sentinel == 0; cur = cur.next[0].Raw() {
+		if cur.rTime.Raw() == rTimeNone {
+			n++
+		}
+	}
+	return n
+}
+
+// StitchedSlow counts all stitched nodes including logically deleted
+// ones; with SizeSlow it measures deferred-reclamation backlog in tests.
+func (m *Map[K, V]) StitchedSlow() int {
+	n := 0
+	for cur := m.head.next[0].Raw(); cur.sentinel == 0; cur = cur.next[0].Raw() {
+		n++
+	}
+	return n
+}

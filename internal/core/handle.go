@@ -1,0 +1,350 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Handle is a per-goroutine context for skip hash operations. It owns
+// the scratch predecessor array for tower searches, the removal buffer
+// of §4.5 (deferred unstitch batching, size 32 in the paper), and
+// operation counters. A Handle must not be used concurrently; create one
+// per worker goroutine with Map.NewHandle.
+type Handle[K comparable, V any] struct {
+	m     *Map[K, V]
+	preds []*node[K, V]
+	buf   []*node[K, V]
+	stats HandleStats
+	// adaptSkip counts remaining range queries that bypass the fast
+	// path under Config.Adaptive.
+	adaptSkip int
+}
+
+// HandleStats counts operations and range-path events for one handle.
+// The fields are atomics only so aggregation can run concurrently with
+// the owner; each field is written by the owning goroutine alone.
+type HandleStats struct {
+	// RangeFastAttempts counts fast-path transactions started.
+	RangeFastAttempts atomic.Uint64
+	// RangeFastAborts counts fast-path transactions that aborted
+	// (Table 1's numerator).
+	RangeFastAborts atomic.Uint64
+	// RangeFastCommits counts range queries completed on the fast path.
+	RangeFastCommits atomic.Uint64
+	// RangeSlowCommits counts range queries completed on the slow path.
+	RangeSlowCommits atomic.Uint64
+}
+
+// NewHandle creates a handle bound to m and registers it for stats
+// aggregation.
+func (m *Map[K, V]) NewHandle() *Handle[K, V] {
+	h := &Handle[K, V]{
+		m:     m,
+		preds: make([]*node[K, V], m.cfg.MaxLevel),
+	}
+	if m.cfg.RemovalBufferSize > 0 {
+		h.buf = make([]*node[K, V], 0, m.cfg.RemovalBufferSize)
+	}
+	m.mu.Lock()
+	m.handles = append(m.handles, h)
+	m.mu.Unlock()
+	return h
+}
+
+// Map returns the map this handle operates on.
+func (h *Handle[K, V]) Map() *Map[K, V] { return h.m }
+
+// Lookup returns the value associated with k. O(1): one hash map probe
+// and at most one extra read (Fig. 1).
+func (h *Handle[K, V]) Lookup(k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		v, ok = h.m.lookupTx(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// Contains reports whether k is present.
+func (h *Handle[K, V]) Contains(k K) bool {
+	var ok bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		ok = h.m.containsTx(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (h *Handle[K, V]) Insert(k K, v V) bool {
+	var ok bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		ok = h.m.insertTx(tx, h, k, v)
+		return nil
+	})
+	return ok
+}
+
+// Remove deletes k and reports whether it was present. O(1) expected:
+// the hash map routes to the node and double-linking unstitches it
+// without a traversal.
+func (h *Handle[K, V]) Remove(k K) bool {
+	var ok bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		ok = h.m.removeTx(tx, h, k)
+		return nil
+	})
+	return ok
+}
+
+// Put sets k to v unconditionally, reporting whether a previous value
+// was replaced. Replacement is remove-then-insert in one transaction, so
+// node values stay immutable and range-query linearizability is
+// unaffected (the old node is logically deleted, the new one carries a
+// fresh insertion time).
+func (h *Handle[K, V]) Put(k K, v V) bool {
+	var replaced bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		replaced = h.m.removeTx(tx, h, k)
+		h.m.insertTx(tx, h, k, v)
+		return nil
+	})
+	return replaced
+}
+
+// Ceil returns the smallest key >= k and its value.
+func (h *Handle[K, V]) Ceil(k K) (K, V, bool) {
+	return h.pointQuery(k, h.m.ceilTx)
+}
+
+// Succ returns the smallest key > k and its value.
+func (h *Handle[K, V]) Succ(k K) (K, V, bool) {
+	return h.pointQuery(k, h.m.succTx)
+}
+
+// Floor returns the largest key <= k and its value.
+func (h *Handle[K, V]) Floor(k K) (K, V, bool) {
+	return h.pointQuery(k, h.m.floorTx)
+}
+
+// Pred returns the largest key < k and its value.
+func (h *Handle[K, V]) Pred(k K) (K, V, bool) {
+	return h.pointQuery(k, h.m.predTx)
+}
+
+func (h *Handle[K, V]) pointQuery(k K, fn func(*stm.Tx, *Handle[K, V], K) (K, V, bool)) (K, V, bool) {
+	var rk K
+	var rv V
+	var ok bool
+	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
+		rk, rv, ok = fn(tx, h, k)
+		return nil
+	})
+	return rk, rv, ok
+}
+
+// Range appends every pair with l <= key <= r, in key order, to out and
+// returns the extended slice. It implements Figure 3's two-path scheme:
+// FastPathTries single-transaction attempts, then the RQC-coordinated
+// slow path (subject to the FastOnly/SlowOnly configuration).
+func (h *Handle[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	m := h.m
+	tryFast := !m.cfg.SlowOnly
+	if tryFast && m.cfg.Adaptive && h.adaptSkip > 0 {
+		h.adaptSkip--
+		tryFast = false
+	}
+	if tryFast {
+		for i := 0; m.cfg.FastOnly || i < m.cfg.FastPathTries; i++ {
+			h.stats.RangeFastAttempts.Add(1)
+			res, err := m.rangeFast(h, l, r, out)
+			if err == nil {
+				h.stats.RangeFastCommits.Add(1)
+				h.adaptSkip = 0
+				return res
+			}
+			h.stats.RangeFastAborts.Add(1)
+		}
+		if m.cfg.Adaptive {
+			h.adaptSkip = m.cfg.AdaptiveSkip
+		}
+	}
+	res := m.rangeSlow(h, l, r, out)
+	h.stats.RangeSlowCommits.Add(1)
+	return res
+}
+
+// afterRemove routes a logically deleted node to the RQC, through the
+// handle's removal buffer when buffering is enabled. The buffer push is
+// an on-commit hook: if the enclosing transaction aborts, the node was
+// never actually removed and must not be unstitched.
+func (m *Map[K, V]) afterRemove(tx *stm.Tx, h *Handle[K, V], n *node[K, V]) {
+	if h == nil || m.cfg.RemovalBufferSize == 0 {
+		m.rqc.afterRemove(tx, m, n)
+		return
+	}
+	tx.OnCommit(func() {
+		h.buf = append(h.buf, n)
+		if len(h.buf) >= m.cfg.RemovalBufferSize {
+			h.FlushRemovals()
+		}
+	})
+}
+
+// FlushRemovals drains the handle's removal buffer: if no slow-path
+// range query is in flight every buffered node is unstitched
+// immediately; otherwise the whole buffer is spliced onto the most
+// recent query's deferred list (§4.5). Tests and quiescence points may
+// call it directly; it is otherwise automatic once the buffer fills.
+func (h *Handle[K, V]) FlushRemovals() {
+	m := h.m
+	if len(h.buf) == 0 {
+		return
+	}
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		tail := m.rqc.tailOp(tx)
+		if tail == nil {
+			for _, n := range h.buf {
+				m.unstitchTx(tx, n)
+			}
+			return nil
+		}
+		for _, n := range h.buf {
+			m.rqc.appendDeferred(tx, tail, n)
+		}
+		return nil
+	})
+	h.buf = h.buf[:0]
+}
+
+// Stats returns a snapshot of the handle's counters.
+func (h *Handle[K, V]) Stats() (attempts, fastAborts, fastCommits, slowCommits uint64) {
+	return h.stats.RangeFastAttempts.Load(),
+		h.stats.RangeFastAborts.Load(),
+		h.stats.RangeFastCommits.Load(),
+		h.stats.RangeSlowCommits.Load()
+}
+
+// RangeStats aggregates range-path counters across every handle of the
+// map (Table 1's inputs).
+type RangeStats struct {
+	FastAttempts uint64
+	FastAborts   uint64
+	FastCommits  uint64
+	SlowCommits  uint64
+}
+
+// Sub returns the element-wise difference s - prev.
+func (s RangeStats) Sub(prev RangeStats) RangeStats {
+	return RangeStats{
+		FastAttempts: s.FastAttempts - prev.FastAttempts,
+		FastAborts:   s.FastAborts - prev.FastAborts,
+		FastCommits:  s.FastCommits - prev.FastCommits,
+		SlowCommits:  s.SlowCommits - prev.SlowCommits,
+	}
+}
+
+// RangeStats aggregates counters across all handles.
+func (m *Map[K, V]) RangeStats() RangeStats {
+	m.mu.Lock()
+	handles := make([]*Handle[K, V], len(m.handles))
+	copy(handles, m.handles)
+	m.mu.Unlock()
+	var s RangeStats
+	for _, h := range handles {
+		s.FastAttempts += h.stats.RangeFastAttempts.Load()
+		s.FastAborts += h.stats.RangeFastAborts.Load()
+		s.FastCommits += h.stats.RangeFastCommits.Load()
+		s.SlowCommits += h.stats.RangeSlowCommits.Load()
+	}
+	return s
+}
+
+// Convenience methods on Map borrow a pooled handle. They are the
+// ergonomic entry points; benchmark workers hold explicit handles.
+
+func (m *Map[K, V]) borrow() *Handle[K, V] { return m.handlePool.Get().(*Handle[K, V]) }
+
+// Lookup returns the value associated with k.
+func (m *Map[K, V]) Lookup(k K) (V, bool) {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Lookup(k)
+}
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(k K) bool {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Contains(k)
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (m *Map[K, V]) Insert(k K, v V) bool {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Insert(k, v)
+}
+
+// Remove deletes k and reports whether it was present.
+func (m *Map[K, V]) Remove(k K) bool {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Remove(k)
+}
+
+// Put sets k to v unconditionally; see Handle.Put.
+func (m *Map[K, V]) Put(k K, v V) bool {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Put(k, v)
+}
+
+// Ceil returns the smallest key >= k and its value.
+func (m *Map[K, V]) Ceil(k K) (K, V, bool) {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Ceil(k)
+}
+
+// Succ returns the smallest key > k and its value.
+func (m *Map[K, V]) Succ(k K) (K, V, bool) {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Succ(k)
+}
+
+// Floor returns the largest key <= k and its value.
+func (m *Map[K, V]) Floor(k K) (K, V, bool) {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Floor(k)
+}
+
+// Pred returns the largest key < k and its value.
+func (m *Map[K, V]) Pred(k K) (K, V, bool) {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Pred(k)
+}
+
+// Range collects [l, r] into out; see Handle.Range.
+func (m *Map[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	h := m.borrow()
+	defer m.handlePool.Put(h)
+	return h.Range(l, r, out)
+}
+
+// Quiesce flushes every handle's removal buffer. The caller must ensure
+// no operations are in flight; tests use it before auditing invariants.
+func (m *Map[K, V]) Quiesce() {
+	m.mu.Lock()
+	handles := make([]*Handle[K, V], len(m.handles))
+	copy(handles, m.handles)
+	m.mu.Unlock()
+	for _, h := range handles {
+		h.FlushRemovals()
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/stm"
+	"repro/internal/thashmap"
+)
+
+// Config selects the tunables the paper's evaluation varies.
+type Config struct {
+	// MaxLevel is the skip list tower height. The evaluation uses 20
+	// (2^20 slightly exceeds the 10^6 key universe). Default 20.
+	MaxLevel int
+	// Buckets is the hash table size; should be prime. The evaluation
+	// uses 714341 (smallest prime keeping utilization <= 70% at the
+	// expected population of 5*10^5). Default 131071, a prime better
+	// suited to general use; benchmarks set the paper's value.
+	Buckets int
+	// FastPathTries is the number of single-transaction range attempts
+	// before falling back to the slow path. The paper uses 3.
+	// FastOnly/SlowOnly configure the two ablation variants of §5.
+	FastPathTries int
+	// FastOnly makes range queries retry the fast path forever (the
+	// "Skip-hash (Fast Only)" series).
+	FastOnly bool
+	// SlowOnly makes range queries go straight to the slow path (the
+	// "Skip-hash (Slow Only)" series).
+	SlowOnly bool
+	// Adaptive enables the fallback policy the paper's §5.2.3 suggests
+	// exploring: after a range query exhausts its fast-path tries, the
+	// next AdaptiveSkip queries from the same handle go straight to the
+	// slow path before the fast path is probed again. Long-range
+	// workloads then pay the doomed fast-path attempts only once per
+	// probe window instead of on every query.
+	Adaptive bool
+	// AdaptiveSkip is the probe window for Adaptive (default 16).
+	AdaptiveSkip int
+	// RemovalBufferSize is the per-handle buffer of logically deleted
+	// nodes whose unstitching is batched (§4.5, size 32 in the paper).
+	// Zero disables buffering, yielding Figure 4's exact after_remove.
+	RemovalBufferSize int
+	// Clock overrides the STM commit clock (default: monotonic
+	// "hardware" clock, the configuration the paper reports).
+	Clock stm.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 131071
+	}
+	if c.FastPathTries == 0 {
+		c.FastPathTries = 3
+	}
+	if c.RemovalBufferSize == 0 {
+		c.RemovalBufferSize = 32
+	}
+	if c.RemovalBufferSize < 0 {
+		c.RemovalBufferSize = 0 // explicit "unbuffered" request
+	}
+	if c.AdaptiveSkip == 0 {
+		c.AdaptiveSkip = 16
+	}
+	return c
+}
+
+// Map is the skip hash. All methods are safe for concurrent use. Hot
+// paths should go through per-goroutine Handles (see NewHandle); the
+// convenience methods on Map borrow pooled handles.
+type Map[K comparable, V any] struct {
+	rt    *stm.Runtime
+	less  func(a, b K) bool
+	cfg   Config
+	index *thashmap.PtrMap[K, node[K, V]]
+	head  *node[K, V]
+	tail  *node[K, V]
+	rqc   rqc[K, V]
+
+	handlePool sync.Pool
+	mu         sync.Mutex
+	handles    []*Handle[K, V]
+}
+
+// New creates a skip hash ordered by less and hashed by hash.
+func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config) *Map[K, V] {
+	cfg = cfg.withDefaults()
+	rt := stm.New(stm.WithClock(cfg.Clock))
+	m := &Map[K, V]{
+		rt:   rt,
+		less: less,
+		cfg:  cfg,
+	}
+	m.index = thashmap.NewPtr[K, node[K, V]](rt, hash, cfg.Buckets)
+	m.head = newNode[K, V](cfg.MaxLevel)
+	m.head.sentinel = -1
+	m.tail = newNode[K, V](cfg.MaxLevel)
+	m.tail.sentinel = 1
+	for l := 0; l < cfg.MaxLevel; l++ {
+		m.head.next[l].Init(m.tail)
+		m.tail.prev[l].Init(m.head)
+	}
+	m.handlePool.New = func() any { return m.NewHandle() }
+	return m
+}
+
+// Runtime exposes the underlying STM runtime (for stats and tests).
+func (m *Map[K, V]) Runtime() *stm.Runtime { return m.rt }
+
+// Config returns the configuration the map was built with (with defaults
+// applied).
+func (m *Map[K, V]) Config() Config { return m.cfg }
+
+// randomHeight draws from the geometric distribution with p = 1/2 in
+// [1, MaxLevel] (§3).
+func (m *Map[K, V]) randomHeight() int {
+	h := bits.TrailingZeros64(rand.Uint64()|(1<<63)) + 1
+	if h > m.cfg.MaxLevel {
+		h = m.cfg.MaxLevel
+	}
+	return h
+}
+
+// nodeBefore reports whether n orders strictly before key k, counting
+// sentinels as infinities.
+func (m *Map[K, V]) nodeBefore(n *node[K, V], k K) bool {
+	if n.sentinel != 0 {
+		return n.sentinel < 0
+	}
+	return m.less(n.key, k)
+}
+
+// nodeBeforeOrAt additionally admits equal keys; the stitching search
+// uses it so a new node lands after logically deleted nodes sharing its
+// key (§4.2's insert_after_logical_deletes).
+func (m *Map[K, V]) nodeBeforeOrAt(n *node[K, V], k K) bool {
+	if n.sentinel != 0 {
+		return n.sentinel < 0
+	}
+	return !m.less(k, n.key)
+}
+
+// findPreds descends the tower, storing into preds (len MaxLevel) the
+// rightmost node at each level for which before(node, k) holds, and
+// returns the level-0 successor of preds[0].
+func (m *Map[K, V]) findPreds(tx *stm.Tx, k K, preds []*node[K, V], before func(*node[K, V], K) bool) *node[K, V] {
+	cur := m.head
+	for l := m.cfg.MaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := cur.next[l].Load(tx, &cur.orec)
+			if !before(nxt, k) {
+				break
+			}
+			cur = nxt
+		}
+		preds[l] = cur
+	}
+	return preds[0].next[0].Load(tx, &preds[0].orec)
+}
+
+// lookupTx is Figure 1's lookup: the hash map routes straight to the
+// node, so presence costs O(1).
+func (m *Map[K, V]) lookupTx(tx *stm.Tx, k K) (V, bool) {
+	n := m.index.GetPtrTx(tx, k)
+	if n == nil {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// containsTx reports presence without touching the node at all.
+func (m *Map[K, V]) containsTx(tx *stm.Tx, k K) bool {
+	return m.index.GetPtrTx(tx, k) != nil
+}
+
+// insertTx is Figure 2's insert. h supplies the scratch predecessor
+// array; the caller owns the enclosing transaction.
+func (m *Map[K, V]) insertTx(tx *stm.Tx, h *Handle[K, V], k K, v V) bool {
+	if m.index.GetPtrTx(tx, k) != nil {
+		return false // O(1): key already present
+	}
+	// The key may still exist in the skip list as logically deleted
+	// nodes; position the new node after them.
+	m.findPreds(tx, k, h.preds, m.nodeBeforeOrAt)
+	n := newNode[K, V](m.randomHeight())
+	n.key = k
+	n.val = v
+	n.iTime = m.rqc.onUpdate(tx)
+	for l := 0; l < n.height(); l++ {
+		p := h.preds[l]
+		s := p.next[l].Load(tx, &p.orec)
+		n.prev[l].Init(p)
+		n.next[l].Init(s)
+		p.next[l].Store(tx, &p.orec, n)
+		s.prev[l].Store(tx, &s.orec, n)
+	}
+	m.index.InsertPtrTx(tx, k, n)
+	return true
+}
+
+// removeTx is Figure 2's remove: O(1) routing through the map, logical
+// deletion by stamping rTime, and delegation of the physical unstitch to
+// the RQC (possibly via the handle's removal buffer).
+func (m *Map[K, V]) removeTx(tx *stm.Tx, h *Handle[K, V], k K) bool {
+	n := m.index.GetPtrTx(tx, k)
+	if n == nil {
+		return false // O(1): key absent
+	}
+	m.index.RemoveTx(tx, k)
+	n.rTime.Store(tx, &n.orec, m.rqc.onUpdate(tx))
+	m.afterRemove(tx, h, n)
+	return true
+}
+
+// unstitchTx physically removes n from every level. Double-linking makes
+// this O(height) with no traversal (§3). The node's orec is acquired
+// first so removals own everything they read.
+func (m *Map[K, V]) unstitchTx(tx *stm.Tx, n *node[K, V]) {
+	tx.Acquire(&n.orec)
+	for l := 0; l < n.height(); l++ {
+		p := n.prev[l].Load(tx, &n.orec)
+		s := n.next[l].Load(tx, &n.orec)
+		p.next[l].Store(tx, &p.orec, s)
+		s.prev[l].Store(tx, &s.orec, p)
+	}
+}
+
+// ceilNodeTx returns the first logically present node with key >= k
+// (m.tail if none), plus scratch-free O(1) handling when the key is
+// present in the map.
+func (m *Map[K, V]) ceilNodeTx(tx *stm.Tx, h *Handle[K, V], k K) *node[K, V] {
+	if n := m.index.GetPtrTx(tx, k); n != nil {
+		return n // O(1) when the key is present (Fig. 1 ceil)
+	}
+	c := m.findPreds(tx, k, h.preds, m.nodeBefore)
+	for c.sentinel == 0 && c.deleted(tx) {
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return c
+}
+
+// CeilTx returns the smallest key >= k.
+func (m *Map[K, V]) ceilTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
+	return m.liveKeyOf(m.ceilNodeTx(tx, h, k))
+}
+
+// succTx returns the smallest key > k. When k is present the map routes
+// to its node and the successor is one link away (Fig. 1 succ).
+func (m *Map[K, V]) succTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
+	var c *node[K, V]
+	if n := m.index.GetPtrTx(tx, k); n != nil {
+		c = n.next[0].Load(tx, &n.orec)
+	} else {
+		c = m.findPreds(tx, k, h.preds, m.nodeBeforeOrAt)
+	}
+	for c.sentinel == 0 && c.deleted(tx) {
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return m.liveKeyOf(c)
+}
+
+// floorTx returns the largest key <= k.
+func (m *Map[K, V]) floorTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
+	if n := m.index.GetPtrTx(tx, k); n != nil {
+		return n.key, n.val, true
+	}
+	c := m.findPreds(tx, k, h.preds, m.nodeBefore)
+	p := c.prev[0].Load(tx, &c.orec)
+	for p.sentinel == 0 && p.deleted(tx) {
+		p = p.prev[0].Load(tx, &p.orec)
+	}
+	return m.liveKeyOf(p)
+}
+
+// predTx returns the largest key < k.
+func (m *Map[K, V]) predTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
+	var c *node[K, V]
+	if n := m.index.GetPtrTx(tx, k); n != nil {
+		c = n.prev[0].Load(tx, &n.orec)
+	} else {
+		first := m.findPreds(tx, k, h.preds, m.nodeBefore)
+		c = first.prev[0].Load(tx, &first.orec)
+	}
+	for c.sentinel == 0 && c.deleted(tx) {
+		c = c.prev[0].Load(tx, &c.orec)
+	}
+	return m.liveKeyOf(c)
+}
+
+func (m *Map[K, V]) liveKeyOf(n *node[K, V]) (K, V, bool) {
+	if n.sentinel != 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return n.key, n.val, true
+}

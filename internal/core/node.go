@@ -1,0 +1,68 @@
+// Package core implements the skip hash: the paper's primary
+// contribution. A transactional closed-addressing hash map routes keys to
+// the nodes of a transactional doubly linked skip list, giving O(1)
+// expected complexity for every elemental operation except successful
+// insertion and absent-key point queries (Figure 1). Range queries run on
+// a fast path (one transaction) with a slow-path fallback coordinated by
+// the range query coordinator (Figures 3 and 4).
+package core
+
+import (
+	"repro/internal/stm"
+)
+
+// rTimeNone marks a node as logically present (the paper's r_time =
+// None). Version numbers produced by the RQC counter are far below this
+// sentinel for any feasible execution.
+const rTimeNone = ^uint64(0)
+
+// node is the paper's sl_node augmented with the §4.2 logical-deletion
+// fields. One orec guards all mutable state (links, r_time, the deferred
+// chain link); key, val, height and i_time are immutable once the node is
+// published, which is the "const field" optimization modern STMs reward.
+type node[K comparable, V any] struct {
+	orec stm.Orec
+
+	key      K
+	val      V
+	sentinel int8 // 0 interior, -1 head, +1 tail
+
+	// iTime is the version of the last slow-path range query that began
+	// before this node's insertion (§4.2). It is written inside the
+	// inserting transaction, before the node becomes reachable.
+	iTime uint64
+
+	// rTime is rTimeNone while the node is logically present; a removal
+	// stamps it with the most recent range query's version.
+	rTime stm.U64
+
+	// prev[l]/next[l] are the level-l tower links; len == height.
+	prev []stm.Ptr[node[K, V]]
+	next []stm.Ptr[node[K, V]]
+
+	// dnext chains the node into an RQC deferred-removal list.
+	dnext stm.Ptr[node[K, V]]
+}
+
+func (n *node[K, V]) height() int { return len(n.next) }
+
+func newNode[K comparable, V any](height int) *node[K, V] {
+	n := &node[K, V]{
+		prev: make([]stm.Ptr[node[K, V]], height),
+		next: make([]stm.Ptr[node[K, V]], height),
+	}
+	n.rTime.Init(rTimeNone)
+	return n
+}
+
+// deleted reports whether the node is logically deleted, reading rTime
+// transactionally.
+func (n *node[K, V]) deleted(tx *stm.Tx) bool {
+	return n.rTime.Load(tx, &n.orec) != rTimeNone
+}
+
+// Pair is a key/value pair produced by range queries.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/stm"
+)
+
+// rangeFast attempts Figure 3's fast path: the whole query as one
+// transaction that does not retry on conflict. On success the pairs are
+// appended to out; ErrAborted indicates the caller should try again or
+// fall back.
+func (m *Map[K, V]) rangeFast(h *Handle[K, V], l, r K, out []Pair[K, V]) ([]Pair[K, V], error) {
+	res := out
+	err := m.rt.TryOnce(func(tx *stm.Tx) error {
+		res = out
+		c := m.findPreds(tx, l, h.preds, m.nodeBefore)
+		for c.sentinel == 0 && !m.less(r, c.key) {
+			if !c.deleted(tx) {
+				res = append(res, Pair[K, V]{Key: c.key, Val: c.val})
+			}
+			c = c.next[0].Load(tx, &c.orec)
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	return res, nil
+}
+
+// rangeSlow runs Figure 3's slow path. One transaction finds the first
+// logically present node at or after l and registers with the RQC —
+// doing both atomically makes the start node safe and is the query's
+// linearization point. The traversal then proceeds as a resumable
+// transaction: the pairs collected so far and the current safe node are
+// plain locals that survive aborts (atomic(no_local_undo)), so an abort
+// behaves as an early commit and the next attempt picks up exactly where
+// the last one stopped. A finalizing call hands the query's safe nodes
+// back to the RQC.
+func (m *Map[K, V]) rangeSlow(h *Handle[K, V], l, r K, out []Pair[K, V]) []Pair[K, V] {
+	var op *rangeOp[K, V]
+	var start *node[K, V]
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		start = m.ceilNodeTx(tx, h, l)
+		op = m.rqc.onRange(tx)
+		return nil
+	})
+	ver := op.ver
+
+	set := out
+	n := start
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		// Loop order matters for exactly-once collection: the only
+		// transactional reads are inside nextSafe and precede the
+		// append, so an abort always resumes at a node that has not
+		// been collected yet (§4.4.2).
+		for n.sentinel == 0 && !m.less(r, n.key) {
+			next := m.nextSafe(tx, n, ver)
+			set = append(set, Pair[K, V]{Key: n.key, Val: n.val})
+			n = next
+		}
+		return nil
+	})
+	m.rqc.afterRange(m, op)
+	return set
+}
+
+// nextSafe walks level 0 from n to the next node that is safe for a
+// range query with version ver. The tail sentinel is always safe, so the
+// walk terminates.
+func (m *Map[K, V]) nextSafe(tx *stm.Tx, n *node[K, V], ver uint64) *node[K, V] {
+	c := n.next[0].Load(tx, &n.orec)
+	for !m.isSafe(tx, c, ver) {
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return c
+}
+
+// isSafe implements Figure 3's is_safe: sentinels are always safe; nodes
+// inserted at or after ver are not (the RQC may unstitch them
+// immediately); otherwise the node must be logically present or removed
+// at or after ver.
+func (m *Map[K, V]) isSafe(tx *stm.Tx, n *node[K, V], ver uint64) bool {
+	if n.sentinel != 0 {
+		return true
+	}
+	if n.iTime >= ver {
+		return false
+	}
+	rt := n.rTime.Load(tx, &n.orec)
+	return rt == rTimeNone || rt >= ver
+}
+
+// rangeTx collects [l, r] inside an enclosing transaction (used by the
+// batch API, where the surrounding transaction already provides
+// atomicity; this is the fast path's body without the try-once wrapper).
+func (m *Map[K, V]) rangeTx(tx *stm.Tx, h *Handle[K, V], l, r K, out []Pair[K, V]) []Pair[K, V] {
+	c := m.findPreds(tx, l, h.preds, m.nodeBefore)
+	for c.sentinel == 0 && !m.less(r, c.key) {
+		if !c.deleted(tx) {
+			out = append(out, Pair[K, V]{Key: c.key, Val: c.val})
+		}
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+	"repro/internal/thashmap"
+)
+
+// startRange registers a slow-path range query by hand, returning its op.
+func startRange(m *Map[int64, int64]) *rangeOp[int64, int64] {
+	var op *rangeOp[int64, int64]
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		op = m.rqc.onRange(tx)
+		return nil
+	})
+	return op
+}
+
+func newRQCMap(t *testing.T) *Map[int64, int64] {
+	t.Helper()
+	return New[int64, int64](lessInt64, thashmap.Hash64,
+		Config{Buckets: 257, RemovalBufferSize: -1})
+}
+
+func TestRQCVersionsMonotonic(t *testing.T) {
+	m := newRQCMap(t)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		op := startRange(m)
+		if op.ver <= last {
+			t.Fatalf("version %d not greater than %d", op.ver, last)
+		}
+		last = op.ver
+		m.rqc.afterRange(m, op)
+	}
+}
+
+func TestRQCUpdatesReuseLatestVersion(t *testing.T) {
+	m := newRQCMap(t)
+	op := startRange(m)
+	var seen uint64
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		seen = m.rqc.onUpdate(tx)
+		return nil
+	})
+	if seen != op.ver {
+		t.Errorf("onUpdate = %d, want latest range version %d", seen, op.ver)
+	}
+	m.rqc.afterRange(m, op)
+}
+
+func TestRQCImmediateUnstitchWithoutQueries(t *testing.T) {
+	m := newRQCMap(t)
+	m.Insert(1, 1)
+	m.Insert(2, 2)
+	m.Remove(1)
+	// No slow-path query in flight: the node must be unstitched inside
+	// the remove transaction itself (Figure 4 line 23).
+	if got := m.StitchedSlow(); got != 1 {
+		t.Errorf("stitched = %d, want 1", got)
+	}
+}
+
+func TestRQCImmediateUnstitchForNewNodes(t *testing.T) {
+	// A node inserted after the most recent range query began is not
+	// safe for anyone and is unstitched immediately even while the
+	// query runs (Figure 4's i_time >= tail.ver case).
+	m := newRQCMap(t)
+	op := startRange(m)
+	m.Insert(5, 5) // iTime == op.ver
+	m.Remove(5)
+	if got := m.StitchedSlow(); got != 0 {
+		t.Errorf("stitched = %d, want 0 (new node not deferrable)", got)
+	}
+	m.rqc.afterRange(m, op)
+}
+
+func TestRQCBackwardPassing(t *testing.T) {
+	// Three queries; a node removed under the newest must survive until
+	// the oldest finishes, traveling backward through deferred lists.
+	m := newRQCMap(t)
+	m.Insert(1, 1)
+	m.Insert(2, 2)
+	m.Insert(3, 3)
+	op1 := startRange(m)
+	op2 := startRange(m)
+	op3 := startRange(m)
+	m.Remove(2) // deferred onto op3 (the newest)
+	if got := m.StitchedSlow(); got != 3 {
+		t.Fatalf("stitched = %d, want 3", got)
+	}
+	// Finishing the newest passes the node to op2.
+	m.rqc.afterRange(m, op3)
+	if got := m.StitchedSlow(); got != 3 {
+		t.Errorf("after op3: stitched = %d, want 3 (still deferred)", got)
+	}
+	// Finishing the middle passes it to op1.
+	m.rqc.afterRange(m, op2)
+	if got := m.StitchedSlow(); got != 3 {
+		t.Errorf("after op2: stitched = %d, want 3 (still deferred)", got)
+	}
+	// Finishing the oldest finally unstitches.
+	m.rqc.afterRange(m, op1)
+	if got := m.StitchedSlow(); got != 2 {
+		t.Errorf("after op1: stitched = %d, want 2", got)
+	}
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRQCOutOfOrderCompletion(t *testing.T) {
+	// Finishing the oldest query first must unstitch its deferred nodes
+	// immediately while younger queries keep theirs.
+	m := newRQCMap(t)
+	for k := int64(1); k <= 4; k++ {
+		m.Insert(k, k)
+	}
+	op1 := startRange(m)
+	m.Remove(1) // deferred onto op1
+	op2 := startRange(m)
+	m.Remove(2) // deferred onto op2
+	if got := m.StitchedSlow(); got != 4 {
+		t.Fatalf("stitched = %d, want 4", got)
+	}
+	m.rqc.afterRange(m, op1) // oldest finishes first: node 1 reclaimed
+	if got := m.StitchedSlow(); got != 3 {
+		t.Errorf("after op1: stitched = %d, want 3", got)
+	}
+	m.rqc.afterRange(m, op2)
+	if got := m.StitchedSlow(); got != 2 {
+		t.Errorf("after op2: stitched = %d, want 2", got)
+	}
+}
+
+func TestSafeNodePredicate(t *testing.T) {
+	m := newRQCMap(t)
+	m.Insert(10, 10)
+	op := startRange(m)
+	ver := op.ver
+	m.Insert(20, 20) // iTime == ver: NOT safe
+	m.Remove(10)     // rTime == ver: safe (removed at/after ver)
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		if !m.isSafe(tx, m.head, ver) || !m.isSafe(tx, m.tail, ver) {
+			t.Error("sentinels must always be safe")
+		}
+		n10 := m.head.next[0].Load(tx, &m.head.orec)
+		for n10.sentinel == 0 && n10.key != 10 {
+			n10 = n10.next[0].Load(tx, &n10.orec)
+		}
+		if n10.sentinel != 0 {
+			t.Fatal("node 10 not found stitched")
+		}
+		if !m.isSafe(tx, n10, ver) {
+			t.Error("logically deleted node with rTime >= ver must be safe")
+		}
+		var n20 *node[int64, int64]
+		m.index.ForEachSlow(func(k int64, n *node[int64, int64]) bool {
+			if k == 20 {
+				n20 = n
+			}
+			return true
+		})
+		if n20 == nil {
+			t.Fatal("node 20 missing from index")
+		}
+		if m.isSafe(tx, n20, ver) {
+			t.Error("node inserted at ver must not be safe")
+		}
+		return nil
+	})
+	m.rqc.afterRange(m, op)
+}
+
+func TestSlowRangeSeesSnapshotAtVersion(t *testing.T) {
+	// A slow-path range must include keys removed after it registered
+	// and exclude keys inserted after it registered.
+	m := newRQCMap(t)
+	for k := int64(0); k < 10; k++ {
+		m.Insert(k, k)
+	}
+	h := m.NewHandle()
+	var op *rangeOp[int64, int64]
+	var start *node[int64, int64]
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		start = m.ceilNodeTx(tx, h, 0)
+		op = m.rqc.onRange(tx)
+		return nil
+	})
+	m.Remove(5)     // removed after linearization: must appear
+	m.Insert(50, 1) // inserted after linearization: must not appear
+	set := make([]Pair[int64, int64], 0, 16)
+	n := start
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		for n.sentinel == 0 && !m.less(100, n.key) {
+			next := m.nextSafe(tx, n, op.ver)
+			set = append(set, Pair[int64, int64]{Key: n.key, Val: n.val})
+			n = next
+		}
+		return nil
+	})
+	m.rqc.afterRange(m, op)
+	if len(set) != 10 {
+		t.Fatalf("slow traversal returned %d pairs, want 10: %v", len(set), set)
+	}
+	for i, p := range set {
+		if p.Key != int64(i) {
+			t.Errorf("pair %d = %v, want key %d", i, p, i)
+		}
+	}
+}
+
+func TestHandleBufferFlushThreshold(t *testing.T) {
+	m := New[int64, int64](lessInt64, thashmap.Hash64,
+		Config{Buckets: 257, RemovalBufferSize: 4})
+	h := m.NewHandle()
+	for k := int64(0); k < 16; k++ {
+		h.Insert(k, k)
+	}
+	// Three removals buffer without unstitching.
+	for k := int64(0); k < 3; k++ {
+		h.Remove(k)
+	}
+	if got := m.StitchedSlow(); got != 16 {
+		t.Errorf("stitched = %d, want 16 (removals buffered)", got)
+	}
+	// The fourth crosses the threshold: all four unstitch.
+	h.Remove(3)
+	if got := m.StitchedSlow(); got != 12 {
+		t.Errorf("stitched = %d, want 12 after flush", got)
+	}
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandleBufferTransfersToActiveQuery(t *testing.T) {
+	m := New[int64, int64](lessInt64, thashmap.Hash64,
+		Config{Buckets: 257, RemovalBufferSize: 2})
+	h := m.NewHandle()
+	for k := int64(0); k < 8; k++ {
+		h.Insert(k, k)
+	}
+	op := startRange(m)
+	h.Remove(0)
+	h.Remove(1) // flush: buffer spliced onto op's deferred list
+	if got := m.StitchedSlow(); got != 8 {
+		t.Errorf("stitched = %d, want 8 (buffer deferred to query)", got)
+	}
+	m.rqc.afterRange(m, op)
+	if got := m.StitchedSlow(); got != 6 {
+		t.Errorf("stitched = %d, want 6 after query completes", got)
+	}
+}

@@ -1,0 +1,89 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSourceOrdering(t *testing.T) {
+	s := NewCounterSource()
+	stamp := s.Stamp()
+	snap := s.Snapshot()
+	if stamp > snap {
+		t.Errorf("stamp %d > snapshot %d taken later", stamp, snap)
+	}
+	after := s.Stamp()
+	if after <= snap {
+		t.Errorf("stamp %d after snapshot %d is not strictly larger", after, snap)
+	}
+}
+
+func TestHybridSourceMonotonic(t *testing.T) {
+	s := NewHybridSource()
+	last := uint64(0)
+	for i := 0; i < 10000; i++ {
+		v := s.Stamp()
+		if v < last {
+			t.Fatalf("stamp went backwards: %d after %d", v, last)
+		}
+		last = v
+	}
+}
+
+func TestTrackerBeginClosesPruneWindow(t *testing.T) {
+	// Begin publishes the pending sentinel before drawing the snapshot,
+	// so Min observed concurrently is never larger than the snapshot
+	// eventually registered.
+	s := NewCounterSource()
+	var tr Tracker
+	for i := 0; i < 100; i++ {
+		s.Snapshot() // advance
+	}
+	ts, ticket := tr.Begin(s)
+	if got := tr.Min(); got > ts {
+		t.Errorf("Min = %d > registered snapshot %d", got, ts)
+	}
+	tr.Exit(ticket)
+}
+
+func TestTrackerConcurrentEnterExit(t *testing.T) {
+	var tr Tracker
+	s := NewCounterSource()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ts, ticket := tr.Begin(s)
+				if min := tr.Min(); min > ts {
+					t.Errorf("Min %d exceeds own active snapshot %d", min, ts)
+					tr.Exit(ticket)
+					return
+				}
+				tr.Exit(ticket)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Min(); got != ^uint64(0) {
+		t.Errorf("Min after all exits = %d, want empty sentinel", got)
+	}
+}
+
+func TestTrackerSlotReuse(t *testing.T) {
+	var tr Tracker
+	tickets := make([]int, 0, trackerSlots)
+	for i := 0; i < trackerSlots; i++ {
+		tickets = append(tickets, tr.Enter(uint64(i)+5))
+	}
+	if got := tr.Min(); got != 5 {
+		t.Errorf("Min = %d, want 5", got)
+	}
+	for _, tk := range tickets {
+		tr.Exit(tk)
+	}
+	// All slots free again; a fresh Enter must terminate immediately.
+	tk := tr.Enter(99)
+	tr.Exit(tk)
+}

@@ -1,0 +1,10 @@
+// Package kv defines the key/value pair type shared by the benchmark
+// harness, the conformance suite, and every baseline map (the evaluation
+// fixes keys and values to signed 64-bit integers, §5.1).
+package kv
+
+// KV is a key/value pair.
+type KV struct {
+	Key int64
+	Val int64
+}

@@ -1,0 +1,55 @@
+// Package stm implements a software transactional memory (STM) runtime in
+// the style assumed by the skip hash paper: ownership records (orecs)
+// co-located with the objects they protect, encounter-time (eager) lock
+// acquisition, undo logging, and a global commit clock.
+//
+// The design follows the principles the paper attributes to modern STM
+// systems (exoTM, TinySTM, TL2 and friends):
+//
+//   - Orec-based conflict detection. Every protected object embeds an
+//     Orec, a single 64-bit word that is either a commit version (even)
+//     or a lock owned by a transaction (odd).
+//   - Eager acquire with undo logging. Writers take ownership of an orec
+//     on first write and mutate fields in place, recording undo actions.
+//     Aborts replay the undo log and release ownership at the old version.
+//   - No timestamp extension. A read or acquisition of an orec whose
+//     version is newer than the transaction's start time aborts the
+//     transaction (the paper selects exoTM's eager/undo algorithm
+//     "without timestamp extension" for its lowest latency).
+//   - Cheap read-only transactions. Each read is validated individually
+//     against the start time, so a transaction that never writes commits
+//     with no further work and linearizes at its start.
+//   - Pluggable global clocks. GV1 (fetch-and-add), GV5 (lazy), and a
+//     monotonic wall-clock source that stands in for the paper's rdtscp
+//     hardware clock (see Clock).
+//
+// # Using the package
+//
+// Shared mutable state lives in transactional fields (Ptr, U64, Bool)
+// guarded by an Orec that the enclosing object embeds:
+//
+//	type account struct {
+//	    orec    stm.Orec
+//	    balance stm.U64
+//	}
+//
+//	rt := stm.New()
+//	err := rt.Atomic(func(tx *stm.Tx) error {
+//	    b := from.balance.Load(tx, &from.orec)
+//	    from.balance.Store(tx, &from.orec, b-10)
+//	    t := to.balance.Load(tx, &to.orec)
+//	    to.balance.Store(tx, &to.orec, t+10)
+//	    return nil
+//	})
+//
+// Atomic retries the closure until it commits. TryOnce attempts a single
+// execution and reports ErrAborted on conflict, which implements the
+// paper's atomic(try_once) block used by fast-path range queries. Local
+// variables captured by the closure are never rolled back, which is
+// exactly the paper's atomic(no_local_undo) semantics.
+//
+// Transactions abort by panicking with an internal sentinel that the
+// runtime recovers; user code never observes it. A non-nil error returned
+// from the closure rolls the transaction back and is returned to the
+// caller without retrying.
+package stm

@@ -1,0 +1,12 @@
+package stm
+
+import "errors"
+
+// ErrAborted is returned by Runtime.TryOnce when the single attempt
+// aborted due to a conflict. Runtime.Atomic never returns it: conflicts
+// there are resolved by retrying.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// txAbort is the sentinel panic value used to unwind a conflicting
+// transaction out of the user closure. It never escapes the package.
+type txAbort struct{}

@@ -1,0 +1,48 @@
+package stm
+
+import "sync/atomic"
+
+// Orec is an ownership record: a single word of synchronization metadata
+// co-located with the object it protects (the paper's §2.2 lists
+// co-location as one of the design principles shared by modern STMs).
+//
+// The word has two interpretations:
+//
+//   - even: a commit version, (time << 1). Time is drawn from the
+//     runtime's global Clock when a writing transaction commits.
+//   - odd: a lock, (txID << 1) | 1, held by the transaction that
+//     acquired the orec at encounter time.
+//
+// The zero value is an unlocked orec at version 0 and is ready to use,
+// so objects can embed an Orec without explicit initialization.
+type Orec struct {
+	word atomic.Uint64
+}
+
+// orecWord is a decoded snapshot of an orec's word.
+type orecWord uint64
+
+func (w orecWord) locked() bool    { return w&1 == 1 }
+func (w orecWord) owner() uint64   { return uint64(w >> 1) }
+func (w orecWord) version() uint64 { return uint64(w >> 1) }
+
+func versionWord(t uint64) orecWord { return orecWord(t << 1) }
+func lockWord(id uint64) orecWord   { return orecWord(id<<1 | 1) }
+
+func (o *Orec) load() orecWord { return orecWord(o.word.Load()) }
+
+func (o *Orec) cas(old, new orecWord) bool {
+	return o.word.CompareAndSwap(uint64(old), uint64(new))
+}
+
+func (o *Orec) store(w orecWord) { o.word.Store(uint64(w)) }
+
+// Version returns the orec's current commit version. It is intended for
+// tests and debugging; transactional code never needs it. If the orec is
+// locked the version of the in-flight owner is returned, which is only
+// meaningful to the owner itself.
+func (o *Orec) Version() uint64 { return o.load().version() }
+
+// Locked reports whether the orec is currently owned by an in-flight
+// transaction. Intended for tests and debugging.
+func (o *Orec) Locked() bool { return o.load().locked() }

@@ -1,0 +1,161 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime is an STM instance: a commit clock plus the descriptor pool and
+// statistics registry shared by all transactions running against one set
+// of data structures. Multiple Runtimes are fully independent; objects
+// must only ever be accessed through transactions of the Runtime that
+// owns them.
+type Runtime struct {
+	clock  Clock
+	strict bool
+	txIDs  atomic.Uint64
+
+	pool sync.Pool
+
+	mu          sync.Mutex
+	descriptors []*Tx
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithClock selects the commit clock. The default is the monotonic
+// "hardware" clock, matching the configuration the paper reports results
+// for.
+func WithClock(c Clock) Option {
+	return func(rt *Runtime) { rt.clock = c }
+}
+
+// New creates an STM runtime.
+func New(opts ...Option) *Runtime {
+	rt := &Runtime{}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	if rt.clock == nil {
+		rt.clock = NewMonotonicClock()
+	}
+	rt.strict = rt.clock.Strict()
+	rt.pool.New = func() any {
+		tx := &Tx{rt: rt}
+		rt.mu.Lock()
+		rt.descriptors = append(rt.descriptors, tx)
+		rt.mu.Unlock()
+		return tx
+	}
+	return rt
+}
+
+// Clock returns the runtime's commit clock.
+func (rt *Runtime) Clock() Clock { return rt.clock }
+
+// Atomic runs fn as a transaction, retrying until it commits. A non-nil
+// error from fn rolls the transaction back and is returned without
+// retrying. Panics from fn propagate after the transaction is rolled
+// back. Local variables captured by fn are never rolled back
+// (atomic(no_local_undo) semantics), so fn must be written to tolerate
+// re-execution — or must route all shared mutation through transactional
+// fields, which is the normal case.
+func (rt *Runtime) Atomic(fn func(tx *Tx) error) error {
+	return rt.run(fn, false)
+}
+
+// TryOnce runs fn as a transaction that does not retry: a conflict rolls
+// the transaction back and returns ErrAborted. This is the paper's
+// atomic(try_once) block used by fast-path range queries.
+func (rt *Runtime) TryOnce(fn func(tx *Tx) error) error {
+	return rt.run(fn, true)
+}
+
+func (rt *Runtime) run(fn func(tx *Tx) error, tryOnce bool) error {
+	tx := rt.pool.Get().(*Tx)
+	defer rt.pool.Put(tx)
+	tx.attempts = 0
+	for {
+		tx.begin()
+		err, aborted := attempt(tx, fn)
+		if !aborted {
+			if err != nil {
+				tx.rollback()
+				tx.stats.userErrors.Add(1)
+				return err
+			}
+			if tx.commit() {
+				tx.runHooks()
+				return nil
+			}
+			// Commit-time validation failed; commit already rolled back.
+		} else {
+			tx.rollback()
+		}
+		if tryOnce {
+			return ErrAborted
+		}
+		tx.backoff()
+	}
+}
+
+// attempt executes fn, converting the abort sentinel panic into a flag
+// while letting genuine panics escape (after the caller rolls back).
+func attempt(tx *Tx, fn func(tx *Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbort); ok {
+				aborted = true
+				return
+			}
+			tx.rollback()
+			panic(r)
+		}
+	}()
+	return fn(tx), false
+}
+
+// Stats aggregates commit/abort counters across every descriptor the
+// runtime has ever created. It is safe to call concurrently with running
+// transactions; the counts are a consistent-enough snapshot for
+// reporting.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	descriptors := make([]*Tx, len(rt.descriptors))
+	copy(descriptors, rt.descriptors)
+	rt.mu.Unlock()
+	var s Stats
+	for _, tx := range descriptors {
+		s.Commits += tx.stats.commits.Load()
+		s.ReadOnlyCommits += tx.stats.readOnlyCommits.Load()
+		s.Aborts += tx.stats.aborts.Load()
+		s.UserErrors += tx.stats.userErrors.Load()
+	}
+	return s
+}
+
+// Stats is a snapshot of runtime-wide transaction counters.
+type Stats struct {
+	// Commits counts successfully committed transactions.
+	Commits uint64
+	// ReadOnlyCommits counts the subset of Commits that never wrote.
+	ReadOnlyCommits uint64
+	// Aborts counts rolled-back attempts (conflicts and failed
+	// commit-time validations, including TryOnce failures).
+	Aborts uint64
+	// UserErrors counts transactions rolled back because the closure
+	// returned a non-nil error.
+	UserErrors uint64
+}
+
+// Sub returns the element-wise difference s - prev, for windowed
+// measurements.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Commits:         s.Commits - prev.Commits,
+		ReadOnlyCommits: s.ReadOnlyCommits - prev.ReadOnlyCommits,
+		Aborts:          s.Aborts - prev.Aborts,
+		UserErrors:      s.UserErrors - prev.UserErrors,
+	}
+}

@@ -1,0 +1,271 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Tx is a transaction descriptor. A Tx is only ever used by one goroutine
+// at a time; descriptors are pooled and reused across transactions so the
+// read set, undo log, and acquire list retain their capacity.
+//
+// Tx is handed to the closure passed to Runtime.Atomic or Runtime.TryOnce
+// and must not be retained after the closure returns.
+type Tx struct {
+	rt     *Runtime
+	id     uint64 // unique per attempt; encoded into lock words
+	idEnd  uint64 // exclusive end of the descriptor's private ID block
+	start  uint64 // start timestamp from the clock
+	strict bool   // reject version == start (see Clock.Strict)
+	active bool
+
+	reads    []readEntry
+	undo     []func()
+	acquired []acqEntry
+	hooks    []func()
+
+	attempts int
+	rng      uint64
+
+	stats txStats
+}
+
+type readEntry struct {
+	orec *Orec
+	seen orecWord
+}
+
+type acqEntry struct {
+	orec *Orec
+	prev orecWord // pre-acquire version word, restored on abort
+}
+
+// txStats counts events for one descriptor. Counters are atomics so the
+// aggregation in Runtime.Stats can read them while the descriptor is in
+// use; each counter is only ever written by the descriptor's current
+// owner, so the adds are uncontended.
+type txStats struct {
+	commits         atomic.Uint64
+	readOnlyCommits atomic.Uint64
+	aborts          atomic.Uint64
+	userErrors      atomic.Uint64
+}
+
+// idBlock is how many transaction IDs a descriptor reserves at once, so
+// the global counter is touched ~never instead of per attempt.
+const idBlock = 1 << 20
+
+// begin (re)initializes the descriptor for a fresh attempt.
+func (tx *Tx) begin() {
+	tx.id++
+	if tx.id >= tx.idEnd {
+		tx.idEnd = tx.rt.txIDs.Add(idBlock)
+		tx.id = tx.idEnd - idBlock + 1
+	}
+	tx.start = tx.rt.clock.Read()
+	tx.strict = tx.rt.strict
+	tx.reads = tx.reads[:0]
+	tx.undo = tx.undo[:0]
+	tx.acquired = tx.acquired[:0]
+	tx.hooks = tx.hooks[:0]
+	tx.active = true
+}
+
+// Start returns the transaction's start timestamp. Exposed for tests and
+// for data structures that want to reason about snapshot ages.
+func (tx *Tx) Start() uint64 { return tx.start }
+
+// conflict aborts the current attempt by unwinding to the retry loop.
+func (tx *Tx) conflict() {
+	panic(txAbort{})
+}
+
+// versionOK reports whether a version observed on an orec is admissible
+// for this transaction's snapshot.
+func (tx *Tx) versionOK(ver uint64) bool {
+	if tx.strict {
+		return ver < tx.start
+	}
+	return ver <= tx.start
+}
+
+// readOrec performs the optimistic pre-read step: it loads the orec and
+// aborts unless the orec is unlocked with an admissible version or is
+// owned by this transaction. It reports whether the orec is owned by this
+// transaction (in which case no post-validation is required).
+func (tx *Tx) readOrec(o *Orec) (w orecWord, mine bool) {
+	w = o.load()
+	if w.locked() {
+		if w.owner() == tx.id {
+			return w, true
+		}
+		tx.conflict()
+	}
+	if !tx.versionOK(w.version()) {
+		tx.rt.clock.OnAbort()
+		tx.conflict()
+	}
+	return w, false
+}
+
+// postRead validates that the orec did not change while the field was
+// being read and records it in the read set.
+func (tx *Tx) postRead(o *Orec, w orecWord) {
+	if o.load() != w {
+		tx.conflict()
+	}
+	// Consecutive reads of fields guarded by the same orec are common
+	// (several fields of one node); collapse them.
+	if n := len(tx.reads); n > 0 && tx.reads[n-1].orec == o {
+		return
+	}
+	tx.reads = append(tx.reads, readEntry{orec: o, seen: w})
+}
+
+// acquire takes ownership of the orec at encounter time, aborting on any
+// conflict. It is idempotent for orecs this transaction already owns.
+func (tx *Tx) acquire(o *Orec) {
+	w := o.load()
+	if w.locked() {
+		if w.owner() == tx.id {
+			return
+		}
+		tx.conflict()
+	}
+	if !tx.versionOK(w.version()) {
+		tx.rt.clock.OnAbort()
+		tx.conflict()
+	}
+	if !o.cas(w, lockWord(tx.id)) {
+		tx.conflict()
+	}
+	tx.acquired = append(tx.acquired, acqEntry{orec: o, prev: w})
+}
+
+// Acquire takes write ownership of an orec without writing any field.
+// Data structures use it to upgrade a node they are about to logically
+// modify from optimistic-read to owned, converting commit-time validation
+// aborts into eager conflicts. The paper's observation that "remove()
+// operations do not read any skip list node that they do not also write"
+// relies on exactly this pattern.
+func (tx *Tx) Acquire(o *Orec) { tx.acquire(o) }
+
+// logUndo records an action that restores a field's pre-transaction
+// value. Undo actions run in reverse order on abort.
+func (tx *Tx) logUndo(fn func()) {
+	tx.undo = append(tx.undo, fn)
+}
+
+// OnCommit registers fn to run after this transaction commits. Hooks are
+// discarded if the transaction aborts or returns an error, making them
+// the right place for side effects that must happen at most once, such as
+// the skip hash's per-handle removal-buffer pushes.
+func (tx *Tx) OnCommit(fn func()) {
+	tx.hooks = append(tx.hooks, fn)
+}
+
+// preAcquireWord returns the version word an orec held before this
+// transaction acquired it. ok is false if the orec is not in the acquire
+// list.
+func (tx *Tx) preAcquireWord(o *Orec) (orecWord, bool) {
+	for i := range tx.acquired {
+		if tx.acquired[i].orec == o {
+			return tx.acquired[i].prev, true
+		}
+	}
+	return 0, false
+}
+
+// commit attempts to commit. It reports success; on failure the
+// transaction has already been rolled back.
+func (tx *Tx) commit() bool {
+	if len(tx.acquired) == 0 {
+		// Read-only fast path: every read was individually validated
+		// against the start time, so the snapshot is consistent as of
+		// Start() and nothing remains to be done. This is the
+		// "negligible overhead" read-only optimization from §2.2.
+		tx.active = false
+		tx.stats.commits.Add(1)
+		tx.stats.readOnlyCommits.Add(1)
+		return true
+	}
+	end := tx.rt.clock.Next()
+	// Validate the read set: every orec we read must either still hold
+	// the word we saw, or be locked by us with its pre-acquire word
+	// matching what we saw.
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		w := r.orec.load()
+		if w == r.seen {
+			continue
+		}
+		if w.locked() && w.owner() == tx.id {
+			if prev, ok := tx.preAcquireWord(r.orec); ok && prev == r.seen {
+				continue
+			}
+		}
+		tx.rollback()
+		return false
+	}
+	// Publish: release every acquired orec at the commit timestamp.
+	release := versionWord(end)
+	for i := range tx.acquired {
+		tx.acquired[i].orec.store(release)
+	}
+	tx.active = false
+	tx.stats.commits.Add(1)
+	return true
+}
+
+// rollback undoes all in-place writes and releases ownership at the
+// pre-acquire versions.
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	for i := range tx.acquired {
+		tx.acquired[i].orec.store(tx.acquired[i].prev)
+	}
+	tx.undo = tx.undo[:0]
+	tx.acquired = tx.acquired[:0]
+	tx.active = false
+	tx.stats.aborts.Add(1)
+}
+
+// runHooks fires the on-commit hooks registered during a successful
+// transaction.
+func (tx *Tx) runHooks() {
+	for _, h := range tx.hooks {
+		h()
+	}
+	tx.hooks = tx.hooks[:0]
+}
+
+// backoff applies randomized bounded exponential backoff between
+// attempts. Encounter-time locking resolves deadlock by aborting rather
+// than waiting, so backoff is what prevents livelock between symmetric
+// conflicting transactions.
+func (tx *Tx) backoff() {
+	tx.attempts++
+	shift := tx.attempts
+	if shift > 12 {
+		shift = 12
+	}
+	spins := tx.nextRand() % (uint64(1) << shift)
+	for i := uint64(0); i < spins; i++ {
+		// Burn a few cycles without touching shared memory.
+		tx.rng += i
+	}
+	if tx.attempts%8 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// nextRand is a splitmix64 step seeded per descriptor.
+func (tx *Tx) nextRand() uint64 {
+	tx.rng += 0x9e3779b97f4a7c15
+	z := tx.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

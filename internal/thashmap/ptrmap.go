@@ -1,0 +1,112 @@
+package thashmap
+
+import (
+	"repro/internal/stm"
+)
+
+// PtrMap is a transactional hash map from K to *V, specialized so values
+// are stored unboxed. The skip hash uses it to route keys to skip list
+// nodes (Figure 1's hashmap<K, sl_node>): Get returns the node pointer
+// directly, keeping the composition's O(1) promise allocation-free on
+// lookups.
+type PtrMap[K comparable, V any] struct {
+	rt      *stm.Runtime
+	hash    func(K) uint64
+	buckets []ptrBucket[K, V]
+}
+
+type ptrBucket[K comparable, V any] struct {
+	orec stm.Orec
+	head stm.Ptr[ptrEntry[K, V]]
+}
+
+type ptrEntry[K comparable, V any] struct {
+	key  K                       // immutable
+	val  *V                      // immutable: entries are replaced, never mutated
+	next stm.Ptr[ptrEntry[K, V]] // guarded by the bucket's orec
+}
+
+// NewPtr creates a pointer-valued map with nBuckets chains; see New for
+// parameter requirements.
+func NewPtr[K comparable, V any](rt *stm.Runtime, hash func(K) uint64, nBuckets int) *PtrMap[K, V] {
+	if nBuckets < 1 {
+		panic("thashmap: bucket count must be positive")
+	}
+	return &PtrMap[K, V]{
+		rt:      rt,
+		hash:    hash,
+		buckets: make([]ptrBucket[K, V], nBuckets),
+	}
+}
+
+func (m *PtrMap[K, V]) bucketFor(k K) *ptrBucket[K, V] {
+	return &m.buckets[m.hash(k)%uint64(len(m.buckets))]
+}
+
+// GetPtrTx returns the pointer stored under k, or nil if k is absent.
+func (m *PtrMap[K, V]) GetPtrTx(tx *stm.Tx, k K) *V {
+	b := m.bucketFor(k)
+	for e := b.head.Load(tx, &b.orec); e != nil; e = e.next.Load(tx, &b.orec) {
+		if e.key == k {
+			return e.val
+		}
+	}
+	return nil
+}
+
+// InsertPtrTx adds (k, v) if k is absent and reports whether it did.
+func (m *PtrMap[K, V]) InsertPtrTx(tx *stm.Tx, k K, v *V) bool {
+	b := m.bucketFor(k)
+	for e := b.head.Load(tx, &b.orec); e != nil; e = e.next.Load(tx, &b.orec) {
+		if e.key == k {
+			return false
+		}
+	}
+	e := &ptrEntry[K, V]{key: k, val: v}
+	e.next.Init(b.head.Load(tx, &b.orec))
+	b.head.Store(tx, &b.orec, e)
+	return true
+}
+
+// RemoveTx deletes k and reports whether it was present.
+func (m *PtrMap[K, V]) RemoveTx(tx *stm.Tx, k K) bool {
+	b := m.bucketFor(k)
+	var prev *ptrEntry[K, V]
+	for e := b.head.Load(tx, &b.orec); e != nil; e = e.next.Load(tx, &b.orec) {
+		if e.key == k {
+			succ := e.next.Load(tx, &b.orec)
+			if prev == nil {
+				b.head.Store(tx, &b.orec, succ)
+			} else {
+				prev.next.Store(tx, &b.orec, succ)
+			}
+			return true
+		}
+		prev = e
+	}
+	return false
+}
+
+// SizeSlow counts entries without transactional protection; the map must
+// be quiescent. Intended for tests.
+func (m *PtrMap[K, V]) SizeSlow() int {
+	n := 0
+	for i := range m.buckets {
+		for e := m.buckets[i].head.Raw(); e != nil; e = e.next.Raw() {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachSlow visits every entry without transactional protection; see
+// SizeSlow. Iteration stops if fn returns false.
+func (m *PtrMap[K, V]) ForEachSlow(fn func(k K, v *V) bool) {
+	for i := range m.buckets {
+		for e := m.buckets[i].head.Raw(); e != nil; e = e.next.Raw() {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package thashmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+type payload struct{ v int64 }
+
+func newPtrMap(buckets int) (*stm.Runtime, *PtrMap[int64, payload]) {
+	rt := stm.New()
+	return rt, NewPtr[int64, payload](rt, Hash64, buckets)
+}
+
+func TestPtrMapBasic(t *testing.T) {
+	rt, m := newPtrMap(17)
+	a := &payload{v: 1}
+	b := &payload{v: 2}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		if got := m.GetPtrTx(tx, 1); got != nil {
+			t.Error("empty map returned a pointer")
+		}
+		if !m.InsertPtrTx(tx, 1, a) {
+			t.Error("insert of absent key failed")
+		}
+		if m.InsertPtrTx(tx, 1, b) {
+			t.Error("insert of present key succeeded")
+		}
+		if got := m.GetPtrTx(tx, 1); got != a {
+			t.Errorf("GetPtrTx = %p, want %p", got, a)
+		}
+		if !m.RemoveTx(tx, 1) {
+			t.Error("remove of present key failed")
+		}
+		if m.RemoveTx(tx, 1) {
+			t.Error("remove of absent key succeeded")
+		}
+		return nil
+	})
+	if got := m.SizeSlow(); got != 0 {
+		t.Errorf("SizeSlow = %d, want 0", got)
+	}
+}
+
+func TestPtrMapIdentityPreserved(t *testing.T) {
+	// The whole point of PtrMap: Get returns the exact pointer stored,
+	// unboxed, so the skip hash routes to the very node it linked.
+	rt, m := newPtrMap(1) // single chain
+	ptrs := make([]*payload, 10)
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		for k := int64(0); k < 10; k++ {
+			ptrs[k] = &payload{v: k}
+			m.InsertPtrTx(tx, k, ptrs[k])
+		}
+		return nil
+	})
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		for k := int64(0); k < 10; k++ {
+			if got := m.GetPtrTx(tx, k); got != ptrs[k] {
+				t.Errorf("key %d: pointer identity lost", k)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPtrMapChainRemoval(t *testing.T) {
+	rt, m := newPtrMap(1)
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		for k := int64(0); k < 5; k++ {
+			m.InsertPtrTx(tx, k, &payload{v: k})
+		}
+		return nil
+	})
+	// Remove middle, head-of-chain (most recent prepend), then tail.
+	for _, k := range []int64{2, 4, 0} {
+		ok := false
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			ok = m.RemoveTx(tx, k)
+			return nil
+		})
+		if !ok {
+			t.Fatalf("RemoveTx(%d) failed", k)
+		}
+	}
+	want := map[int64]bool{1: true, 3: true}
+	count := 0
+	m.ForEachSlow(func(k int64, v *payload) bool {
+		count++
+		if !want[k] || v.v != k {
+			t.Errorf("unexpected survivor %d -> %+v", k, v)
+		}
+		return true
+	})
+	if count != 2 {
+		t.Errorf("%d survivors, want 2", count)
+	}
+}
+
+func TestPtrMapRollback(t *testing.T) {
+	rt, m := newPtrMap(17)
+	p := &payload{v: 9}
+	err := rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 9, p)
+		return errBoom
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.SizeSlow(); got != 0 {
+		t.Errorf("rollback leaked %d entries", got)
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+func TestPtrMapConcurrent(t *testing.T) {
+	rt, m := newPtrMap(31)
+	const goroutines = 8
+	const perG = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				k := base*perG + i
+				p := &payload{v: k}
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					m.InsertPtrTx(tx, k, p)
+					return nil
+				})
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					if got := m.GetPtrTx(tx, k); got != p {
+						t.Errorf("key %d: wrong pointer", k)
+					}
+					return nil
+				})
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := m.SizeSlow(); got != goroutines*perG {
+		t.Errorf("SizeSlow = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNewPtrPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPtr with -1 buckets did not panic")
+		}
+	}()
+	NewPtr[int64, payload](stm.New(), Hash64, -1)
+}

@@ -1,0 +1,279 @@
+package thashmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func newTestMap(t *testing.T, buckets int) *Map[int64, int64] {
+	t.Helper()
+	return New[int64, int64](stm.New(), Hash64, buckets)
+}
+
+func TestBasicOperations(t *testing.T) {
+	m := newTestMap(t, 17)
+
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty map reported present")
+	}
+	if !m.Insert(1, 10) {
+		t.Error("Insert of absent key failed")
+	}
+	if m.Insert(1, 11) {
+		t.Error("Insert of present key succeeded")
+	}
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Errorf("Get(1) = %d,%v want 10,true", v, ok)
+	}
+	if !m.Remove(1) {
+		t.Error("Remove of present key failed")
+	}
+	if m.Remove(1) {
+		t.Error("Remove of absent key succeeded")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("key present after removal")
+	}
+}
+
+func TestPutUpsert(t *testing.T) {
+	m := newTestMap(t, 17)
+	if m.Put(5, 1) {
+		t.Error("first Put reported replacement")
+	}
+	if !m.Put(5, 2) {
+		t.Error("second Put did not report replacement")
+	}
+	if v, _ := m.Get(5); v != 2 {
+		t.Errorf("value after Put = %d, want 2", v)
+	}
+}
+
+func TestChainCollisions(t *testing.T) {
+	// One bucket forces every key into a single chain; exercises
+	// prepend, interior removal, and head removal.
+	m := newTestMap(t, 1)
+	keys := []int64{1, 2, 3, 4, 5}
+	for _, k := range keys {
+		if !m.Insert(k, k*100) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if got := m.SizeSlow(); got != len(keys) {
+		t.Fatalf("SizeSlow = %d, want %d", got, len(keys))
+	}
+	// Remove interior, head-of-chain, and tail-of-chain keys.
+	for _, k := range []int64{3, 5, 1} {
+		if !m.Remove(k) {
+			t.Errorf("Remove(%d) failed", k)
+		}
+	}
+	for _, k := range []int64{2, 4} {
+		if v, ok := m.Get(k); !ok || v != k*100 {
+			t.Errorf("Get(%d) = %d,%v want %d,true", k, v, ok, k*100)
+		}
+	}
+	for _, k := range []int64{1, 3, 5} {
+		if _, ok := m.Get(k); ok {
+			t.Errorf("removed key %d still present", k)
+		}
+	}
+}
+
+func TestTransactionalComposition(t *testing.T) {
+	// Two maps updated in one transaction stay consistent even when the
+	// transaction is rolled back.
+	rt := stm.New()
+	a := New[int64, int64](rt, Hash64, 17)
+	b := New[int64, int64](rt, Hash64, 17)
+	err := rt.Atomic(func(tx *stm.Tx) error {
+		a.InsertTx(tx, 1, 1)
+		b.InsertTx(tx, 1, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		a.RemoveTx(tx, 1)
+		if _, ok := a.GetTx(tx, 1); ok {
+			t.Error("key visible inside tx after RemoveTx")
+		}
+		// Abort by returning an error: both maps must keep the key.
+		return errRollback
+	})
+	if _, ok := a.Get(1); !ok {
+		t.Error("rollback lost key in map a")
+	}
+	if _, ok := b.Get(1); !ok {
+		t.Error("rollback lost key in map b")
+	}
+}
+
+var errRollback = &rollbackError{}
+
+type rollbackError struct{}
+
+func (*rollbackError) Error() string { return "rollback" }
+
+func TestQuickVersusModel(t *testing.T) {
+	m := newTestMap(t, 7) // tiny table to force collisions
+	model := make(map[int64]int64)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := int64(op % 32)
+			switch (op / 32) % 3 {
+			case 0:
+				got := m.Insert(k, k*10)
+				_, present := model[k]
+				if got == present {
+					return false
+				}
+				if !present {
+					model[k] = k * 10
+				}
+			case 1:
+				got := m.Remove(k)
+				_, present := model[k]
+				if got != present {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(k)
+				mv, present := model[k]
+				if ok != present || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		return m.SizeSlow() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	m := newTestMap(t, 31)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				k := base*perG + i
+				if !m.Insert(k, k) {
+					t.Errorf("Insert(%d) failed", k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := m.SizeSlow(); got != goroutines*perG {
+		t.Fatalf("SizeSlow = %d, want %d", got, goroutines*perG)
+	}
+	// Remove everything concurrently.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				k := base*perG + i
+				if !m.Remove(k) {
+					t.Errorf("Remove(%d) failed", k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := m.SizeSlow(); got != 0 {
+		t.Fatalf("SizeSlow after removal = %d, want 0", got)
+	}
+}
+
+func TestConcurrentContendedKeys(t *testing.T) {
+	// All goroutines fight over the same small key space; per-key
+	// success counting verifies linearizability of insert/remove pairs:
+	// successfulInserts - successfulRemoves must equal final presence.
+	m := newTestMap(t, 3)
+	const keys = 8
+	const goroutines = 6
+	const iters = 1000
+	var inserts, removes [keys]int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var localIns, localRem [keys]int64
+			rng := seed
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int64(rng % keys)
+				if rng&(1<<20) == 0 {
+					if m.Insert(k, k) {
+						localIns[k]++
+					}
+				} else {
+					if m.Remove(k) {
+						localRem[k]++
+					}
+				}
+			}
+			mu.Lock()
+			for k := 0; k < keys; k++ {
+				inserts[k] += localIns[k]
+				removes[k] += localRem[k]
+			}
+			mu.Unlock()
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	for k := int64(0); k < keys; k++ {
+		_, present := m.Get(k)
+		balance := inserts[k] - removes[k]
+		want := int64(0)
+		if present {
+			want = 1
+		}
+		if balance != want {
+			t.Errorf("key %d: inserts-removes = %d, present=%v", k, balance, present)
+		}
+	}
+}
+
+func TestHash64Distribution(t *testing.T) {
+	// Sanity check: sequential keys should spread across buckets.
+	const buckets = 64
+	var counts [buckets]int
+	const n = 64 * 128
+	for k := int64(0); k < n; k++ {
+		counts[Hash64(k)%buckets]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("bucket %d empty after %d sequential keys", i, n)
+		}
+		if c > 4*n/buckets {
+			t.Errorf("bucket %d holds %d keys, want < %d", i, c, 4*n/buckets)
+		}
+	}
+}
+
+func TestNewPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 0 buckets did not panic")
+		}
+	}()
+	New[int64, int64](stm.New(), Hash64, 0)
+}

@@ -1,0 +1,357 @@
+// Package tskiplist implements a transactional doubly linked skip list:
+// the ordered half of the skip hash composition, and — standalone — the
+// paper's "Skip List (STM)" baseline for workloads without range queries.
+//
+// Every node embeds one ownership record guarding its value and all of
+// its links. Double-linking is what STM buys the design: a node found by
+// any means can be unstitched in O(height) without a fresh traversal, at
+// the cost of twice the writes per stitch relative to singly linked
+// lock-free skip lists (§3).
+package tskiplist
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+
+	"repro/internal/stm"
+)
+
+// DefaultMaxLevel matches the evaluation configuration: 20 levels,
+// because 2^20 slightly exceeds the 10^6 key universe (§5.1).
+const DefaultMaxLevel = 20
+
+// Map is a transactional ordered map backed by a doubly linked skip list.
+type Map[K any, V any] struct {
+	rt       *stm.Runtime
+	less     func(a, b K) bool
+	maxLevel int
+	head     *node[K, V]
+	tail     *node[K, V]
+}
+
+type node[K any, V any] struct {
+	orec     stm.Orec
+	key      K    // immutable
+	sentinel int8 // 0 interior, -1 head, +1 tail
+	val      stm.Val[V]
+	// prev[l] and next[l] are the level-l neighbors, guarded by orec.
+	// len(prev) == len(next) == the node's height.
+	prev []stm.Ptr[node[K, V]]
+	next []stm.Ptr[node[K, V]]
+}
+
+func (n *node[K, V]) height() int { return len(n.next) }
+
+// New creates an empty skip list ordered by less with the given maximum
+// tower height. maxLevel below 1 panics.
+func New[K any, V any](rt *stm.Runtime, less func(a, b K) bool, maxLevel int) *Map[K, V] {
+	if maxLevel < 1 {
+		panic("tskiplist: maxLevel must be positive")
+	}
+	m := &Map[K, V]{rt: rt, less: less, maxLevel: maxLevel}
+	m.head = newNode[K, V](maxLevel)
+	m.head.sentinel = -1
+	m.tail = newNode[K, V](maxLevel)
+	m.tail.sentinel = 1
+	for l := 0; l < maxLevel; l++ {
+		m.head.next[l].Init(m.tail)
+		m.tail.prev[l].Init(m.head)
+	}
+	return m
+}
+
+func newNode[K any, V any](height int) *node[K, V] {
+	return &node[K, V]{
+		prev: make([]stm.Ptr[node[K, V]], height),
+		next: make([]stm.Ptr[node[K, V]], height),
+	}
+}
+
+// Runtime returns the STM runtime the list was created with.
+func (m *Map[K, V]) Runtime() *stm.Runtime { return m.rt }
+
+// RandomHeight draws a height from the geometric distribution with
+// p = 1/2 in [1, maxLevel], as specified for node insertion in §3.
+func (m *Map[K, V]) RandomHeight() int {
+	h := bits.TrailingZeros64(rand.Uint64()|(1<<63)) + 1
+	if h > m.maxLevel {
+		h = m.maxLevel
+	}
+	return h
+}
+
+// keyLess orders nodes, treating sentinels as infinities.
+func (m *Map[K, V]) nodeBeforeKey(n *node[K, V], k K) bool {
+	if n.sentinel < 0 {
+		return true
+	}
+	if n.sentinel > 0 {
+		return false
+	}
+	return m.less(n.key, k)
+}
+
+// findPreds descends the tower collecting, per level, the rightmost node
+// whose key is strictly less than k (sentinels count as -inf/+inf). It
+// returns the predecessors and the level-0 successor candidate: the first
+// node with key >= k.
+func (m *Map[K, V]) findPreds(tx *stm.Tx, k K) (preds []*node[K, V], candidate *node[K, V]) {
+	preds = make([]*node[K, V], m.maxLevel)
+	cur := m.head
+	for l := m.maxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := cur.next[l].Load(tx, &cur.orec)
+			if !m.nodeBeforeKey(nxt, k) {
+				break
+			}
+			cur = nxt
+		}
+		preds[l] = cur
+	}
+	return preds, preds[0].next[0].Load(tx, &preds[0].orec)
+}
+
+// found reports whether candidate holds exactly key k.
+func (m *Map[K, V]) found(candidate *node[K, V], k K) bool {
+	return candidate.sentinel == 0 && !m.less(k, candidate.key)
+}
+
+// descend returns the level-0 successor candidate for k (the first node
+// with key >= k) without materializing the predecessor array; the
+// allocation-free path for read-only operations.
+func (m *Map[K, V]) descend(tx *stm.Tx, k K) *node[K, V] {
+	cur := m.head
+	for l := m.maxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := cur.next[l].Load(tx, &cur.orec)
+			if !m.nodeBeforeKey(nxt, k) {
+				break
+			}
+			cur = nxt
+		}
+	}
+	return cur.next[0].Load(tx, &cur.orec)
+}
+
+// GetTx looks k up within an enclosing transaction.
+func (m *Map[K, V]) GetTx(tx *stm.Tx, k K) (V, bool) {
+	c := m.descend(tx, k)
+	if m.found(c, k) {
+		return c.val.Load(tx, &c.orec), true
+	}
+	var zero V
+	return zero, false
+}
+
+// InsertTx adds (k, v) if k is absent and reports whether it did.
+func (m *Map[K, V]) InsertTx(tx *stm.Tx, k K, v V) bool {
+	preds, c := m.findPreds(tx, k)
+	if m.found(c, k) {
+		return false
+	}
+	m.stitch(tx, preds, k, v, m.RandomHeight())
+	return true
+}
+
+// PutTx sets k to v, inserting or overwriting; it reports whether a
+// previous value was replaced.
+func (m *Map[K, V]) PutTx(tx *stm.Tx, k K, v V) bool {
+	preds, c := m.findPreds(tx, k)
+	if m.found(c, k) {
+		c.val.Store(tx, &c.orec, v)
+		return true
+	}
+	m.stitch(tx, preds, k, v, m.RandomHeight())
+	return false
+}
+
+// stitch links a fresh node of the given height after preds. The new
+// node's own links are initialized without instrumentation: it is
+// unpublished until the enclosing transaction commits.
+func (m *Map[K, V]) stitch(tx *stm.Tx, preds []*node[K, V], k K, v V, height int) {
+	n := newNode[K, V](height)
+	n.key = k
+	n.val.Init(v)
+	for l := 0; l < height; l++ {
+		p := preds[l]
+		s := p.next[l].Load(tx, &p.orec)
+		n.prev[l].Init(p)
+		n.next[l].Init(s)
+		p.next[l].Store(tx, &p.orec, n)
+		s.prev[l].Store(tx, &s.orec, n)
+	}
+}
+
+// RemoveTx deletes k and reports whether it was present. Double-linking
+// makes the unstitch O(height) with no additional traversal once the
+// node is in hand.
+func (m *Map[K, V]) RemoveTx(tx *stm.Tx, k K) bool {
+	_, c := m.findPreds(tx, k)
+	if !m.found(c, k) {
+		return false
+	}
+	m.UnstitchTx(tx, c)
+	return true
+}
+
+// UnstitchTx removes a node from every level it occupies. The node's own
+// orec is acquired first so the operation owns everything it reads,
+// detecting conflicts with adjacent removals eagerly.
+func (m *Map[K, V]) UnstitchTx(tx *stm.Tx, n *node[K, V]) {
+	tx.Acquire(&n.orec)
+	for l := 0; l < n.height(); l++ {
+		p := n.prev[l].Load(tx, &n.orec)
+		s := n.next[l].Load(tx, &n.orec)
+		p.next[l].Store(tx, &p.orec, s)
+		s.prev[l].Store(tx, &s.orec, p)
+	}
+}
+
+// CeilTx returns the smallest key >= k and its value.
+func (m *Map[K, V]) CeilTx(tx *stm.Tx, k K) (K, V, bool) {
+	return m.keyOf(tx, m.descend(tx, k))
+}
+
+// SuccTx returns the smallest key strictly greater than k and its value.
+func (m *Map[K, V]) SuccTx(tx *stm.Tx, k K) (K, V, bool) {
+	c := m.descend(tx, k)
+	if m.found(c, k) {
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return m.keyOf(tx, c)
+}
+
+// FloorTx returns the largest key <= k and its value.
+func (m *Map[K, V]) FloorTx(tx *stm.Tx, k K) (K, V, bool) {
+	c := m.descend(tx, k)
+	if m.found(c, k) {
+		return m.keyOf(tx, c)
+	}
+	return m.keyOf(tx, c.prev[0].Load(tx, &c.orec))
+}
+
+// PredTx returns the largest key strictly less than k and its value.
+func (m *Map[K, V]) PredTx(tx *stm.Tx, k K) (K, V, bool) {
+	c := m.descend(tx, k)
+	return m.keyOf(tx, c.prev[0].Load(tx, &c.orec))
+}
+
+func (m *Map[K, V]) keyOf(tx *stm.Tx, n *node[K, V]) (K, V, bool) {
+	if n.sentinel != 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return n.key, n.val.Load(tx, &n.orec), true
+}
+
+// RangeTx appends every pair with l <= key <= r, in key order, to out and
+// returns the extended slice. It runs entirely within the enclosing
+// transaction, which is the paper's simplest linearizable range query
+// (§4, first paragraph); the skip hash core layers the fast/slow path
+// machinery on top of this idea.
+func (m *Map[K, V]) RangeTx(tx *stm.Tx, l, r K, out []Pair[K, V]) []Pair[K, V] {
+	c := m.descend(tx, l)
+	for c.sentinel == 0 && !m.less(r, c.key) {
+		out = append(out, Pair[K, V]{Key: c.key, Val: c.val.Load(tx, &c.orec)})
+		c = c.next[0].Load(tx, &c.orec)
+	}
+	return out
+}
+
+// Pair is a key/value pair returned by range queries.
+type Pair[K any, V any] struct {
+	Key K
+	Val V
+}
+
+// Get looks k up in its own transaction.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		v, ok = m.GetTx(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// Insert adds (k, v) if absent, in its own transaction.
+func (m *Map[K, V]) Insert(k K, v V) bool {
+	var ok bool
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		ok = m.InsertTx(tx, k, v)
+		return nil
+	})
+	return ok
+}
+
+// Remove deletes k in its own transaction.
+func (m *Map[K, V]) Remove(k K) bool {
+	var ok bool
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		ok = m.RemoveTx(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// Range collects [l, r] in its own transaction.
+func (m *Map[K, V]) Range(l, r K) []Pair[K, V] {
+	var out []Pair[K, V]
+	_ = m.rt.Atomic(func(tx *stm.Tx) error {
+		out = m.RangeTx(tx, l, r, out[:0])
+		return nil
+	})
+	return out
+}
+
+// CheckInvariants audits the structure without transactional protection;
+// the list must be quiescent. It verifies per-level sortedness, mutual
+// prev/next consistency, that every level-l chain is a sub-sequence of
+// the level-0 chain, and sentinel integrity.
+func (m *Map[K, V]) CheckInvariants() error {
+	level0 := make(map[*node[K, V]]bool)
+	for cur := m.head.next[0].Raw(); cur != nil && cur.sentinel == 0; cur = cur.next[0].Raw() {
+		level0[cur] = true
+	}
+	for l := m.maxLevel - 1; l >= 0; l-- {
+		var prev *node[K, V] = m.head
+		for cur := m.head.next[l].Raw(); ; cur = cur.next[l].Raw() {
+			if cur == nil {
+				return fmt.Errorf("level %d: nil link after %v", l, prev.key)
+			}
+			if back := cur.prev[l].Raw(); back != prev {
+				return fmt.Errorf("level %d: prev of %v is not %v", l, cur.key, prev.key)
+			}
+			if cur.sentinel > 0 {
+				break
+			}
+			if cur.sentinel < 0 {
+				return fmt.Errorf("level %d: head reachable mid-chain", l)
+			}
+			if prev.sentinel == 0 && !m.less(prev.key, cur.key) {
+				return fmt.Errorf("level %d: order violation %v !< %v", l, prev.key, cur.key)
+			}
+			if cur.height() <= l {
+				return fmt.Errorf("level %d: node %v of height %d present", l, cur.key, cur.height())
+			}
+			if l > 0 && !level0[cur] {
+				return fmt.Errorf("level %d: node %v missing from level 0", l, cur.key)
+			}
+			prev = cur
+		}
+	}
+	return nil
+}
+
+// SizeSlow counts interior nodes without transactional protection; the
+// list must be quiescent.
+func (m *Map[K, V]) SizeSlow() int {
+	n := 0
+	for cur := m.head.next[0].Raw(); cur.sentinel == 0; cur = cur.next[0].Raw() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,343 @@
+package tskiplist
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func lessInt64(a, b int64) bool { return a < b }
+
+func newTestList(t *testing.T) *Map[int64, int64] {
+	t.Helper()
+	return New[int64, int64](stm.New(), lessInt64, DefaultMaxLevel)
+}
+
+func TestBasicOperations(t *testing.T) {
+	m := newTestList(t)
+	if _, ok := m.Get(10); ok {
+		t.Error("Get on empty list reported present")
+	}
+	if !m.Insert(10, 100) {
+		t.Error("Insert of absent key failed")
+	}
+	if m.Insert(10, 200) {
+		t.Error("Insert of present key succeeded")
+	}
+	if v, ok := m.Get(10); !ok || v != 100 {
+		t.Errorf("Get(10) = %d,%v want 100,true", v, ok)
+	}
+	if !m.Remove(10) {
+		t.Error("Remove of present key failed")
+	}
+	if m.Remove(10) {
+		t.Error("Remove of absent key succeeded")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	m := newTestList(t)
+	keys := []int64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		m.Insert(k, k*10)
+	}
+	got := m.Range(0, 9)
+	if len(got) != len(keys) {
+		t.Fatalf("Range returned %d pairs, want %d", len(got), len(keys))
+	}
+	for i, p := range got {
+		if p.Key != int64(i) || p.Val != int64(i)*10 {
+			t.Errorf("pair %d = %+v, want {%d %d}", i, p, i, i*10)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	m := newTestList(t)
+	for _, k := range []int64{10, 20, 30} {
+		m.Insert(k, k)
+	}
+	rt := m.Runtime()
+	tests := []struct {
+		name string
+		fn   func(tx *stm.Tx, k int64) (int64, int64, bool)
+		k    int64
+		want int64
+		ok   bool
+	}{
+		{"ceil present", m.CeilTx, 20, 20, true},
+		{"ceil between", m.CeilTx, 15, 20, true},
+		{"ceil past end", m.CeilTx, 31, 0, false},
+		{"succ present", m.SuccTx, 20, 30, true},
+		{"succ between", m.SuccTx, 15, 20, true},
+		{"succ of last", m.SuccTx, 30, 0, false},
+		{"floor present", m.FloorTx, 20, 20, true},
+		{"floor between", m.FloorTx, 25, 20, true},
+		{"floor before start", m.FloorTx, 5, 0, false},
+		{"pred present", m.PredTx, 20, 10, true},
+		{"pred between", m.PredTx, 25, 20, true},
+		{"pred of first", m.PredTx, 10, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var k int64
+			var ok bool
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				k, _, ok = tt.fn(tx, tt.k)
+				return nil
+			})
+			if ok != tt.ok || (ok && k != tt.want) {
+				t.Errorf("got %d,%v want %d,%v", k, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEmptyRangeAndBounds(t *testing.T) {
+	m := newTestList(t)
+	if got := m.Range(1, 100); len(got) != 0 {
+		t.Errorf("Range on empty list = %v, want empty", got)
+	}
+	m.Insert(50, 1)
+	if got := m.Range(60, 100); len(got) != 0 {
+		t.Errorf("Range right of key = %v, want empty", got)
+	}
+	if got := m.Range(0, 49); len(got) != 0 {
+		t.Errorf("Range left of key = %v, want empty", got)
+	}
+	if got := m.Range(50, 50); len(got) != 1 {
+		t.Errorf("point Range = %v, want one pair", got)
+	}
+}
+
+func TestHeightOneList(t *testing.T) {
+	// maxLevel 1 degenerates to a doubly linked list; everything must
+	// still work.
+	m := New[int64, int64](stm.New(), lessInt64, 1)
+	for k := int64(0); k < 100; k++ {
+		if !m.Insert(k, k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	for k := int64(0); k < 100; k += 2 {
+		if !m.Remove(k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+	}
+	if got := m.SizeSlow(); got != 50 {
+		t.Fatalf("SizeSlow = %d, want 50", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomHeightDistribution(t *testing.T) {
+	m := newTestList(t)
+	const n = 100000
+	counts := make([]int, DefaultMaxLevel+1)
+	for i := 0; i < n; i++ {
+		h := m.RandomHeight()
+		if h < 1 || h > DefaultMaxLevel {
+			t.Fatalf("height %d out of range", h)
+		}
+		counts[h]++
+	}
+	// Geometric with p=1/2: roughly half the nodes have height 1.
+	if counts[1] < n*4/10 || counts[1] > n*6/10 {
+		t.Errorf("height-1 fraction = %d/%d, want about half", counts[1], n)
+	}
+	if counts[2] < n*2/10 || counts[2] > n*3/10 {
+		t.Errorf("height-2 fraction = %d/%d, want about a quarter", counts[2], n)
+	}
+}
+
+func TestQuickVersusModel(t *testing.T) {
+	m := newTestList(t)
+	model := make(map[int64]int64)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := int64(op % 64)
+			switch (op / 64) % 3 {
+			case 0:
+				got := m.Insert(k, k*3)
+				_, present := model[k]
+				if got == present {
+					return false
+				}
+				if !present {
+					model[k] = k * 3
+				}
+			case 1:
+				got := m.Remove(k)
+				_, present := model[k]
+				if got != present {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(k)
+				mv, present := model[k]
+				if ok != present || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		// Compare a full range scan against the sorted model.
+		keys := make([]int64, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := m.Range(0, 63)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i, p := range got {
+			if p.Key != keys[i] || p.Val != model[keys[i]] {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentChaos(t *testing.T) {
+	m := newTestList(t)
+	const universe = 256
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+			for i := 0; i < iters; i++ {
+				k := int64(rng.Uint64() % universe)
+				switch rng.Uint64() % 3 {
+				case 0:
+					m.Insert(k, k)
+				case 1:
+					m.Remove(k)
+				case 2:
+					if v, ok := m.Get(k); ok && v != k {
+						t.Errorf("Get(%d) returned wrong value %d", k, v)
+					}
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRangeConsistency(t *testing.T) {
+	// Writers keep pairs (k, k+half) in lockstep membership inside one
+	// transaction; every range over the whole universe must observe the
+	// pair invariant, proving range snapshots are atomic.
+	rt := stm.New()
+	m := New[int64, int64](rt, lessInt64, DefaultMaxLevel)
+	const half = 128
+	for k := int64(0); k < half; k += 2 {
+		m.Insert(k, k)
+		m.Insert(k+half, k)
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(seed uint64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewPCG(seed, seed))
+			for i := 0; i < 1500; i++ {
+				k := int64(rng.Uint64() % half)
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					if _, ok := m.GetTx(tx, k); ok {
+						m.RemoveTx(tx, k)
+						m.RemoveTx(tx, k+half)
+					} else {
+						m.InsertTx(tx, k, k)
+						m.InsertTx(tx, k+half, k)
+					}
+					return nil
+				})
+			}
+		}(uint64(g) + 7)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pairs := m.Range(0, 2*half)
+			seen := make(map[int64]bool, len(pairs))
+			for _, p := range pairs {
+				seen[p.Key] = true
+			}
+			for k := int64(0); k < half; k++ {
+				if seen[k] != seen[k+half] {
+					t.Errorf("torn range: key %d present=%v partner=%v", k, seen[k], seen[k+half])
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacentRemovals(t *testing.T) {
+	// Concurrent removals of neighboring nodes exercise the unstitch
+	// conflict window discussed in §3.
+	for trial := 0; trial < 20; trial++ {
+		m := newTestList(t)
+		const n = 64
+		for k := int64(0); k < n; k++ {
+			m.Insert(k, k)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(start int64) {
+				defer wg.Done()
+				for k := start; k < n; k += 4 {
+					if !m.Remove(k) {
+						t.Errorf("Remove(%d) failed", k)
+					}
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		if got := m.SizeSlow(); got != 0 {
+			t.Fatalf("trial %d: %d nodes left, want 0", trial, got)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package vcas implements versioned compare-and-swap pointers, the
+// substrate of the vCAS baselines (Wei et al., "Constant-Time Snapshots
+// with Applications to Concurrent Data Structures", PPoPP 2021): every
+// mutable pointer keeps a timestamped version list, writers install new
+// versions with a CAS-compatible interface, and range queries read the
+// version that was current at their snapshot timestamp.
+//
+// The timestamp-initialization ("initTS") protocol is reproduced: a
+// version is installed unstamped and stamped immediately afterwards;
+// readers that encounter an unstamped version help stamp it, so a
+// version's timestamp is fixed before anyone depends on it.
+package vcas
+
+import (
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
+// unstamped marks a version whose timestamp has not been fixed yet.
+const unstamped = 0
+
+// initialTS is the stamp of a version installed before the structure is
+// shared; it is visible to every snapshot.
+const initialTS = 1
+
+// Version is one entry of a version list. Values are immutable; the
+// timestamp is fixed once by the initTS protocol.
+type Version[T comparable] struct {
+	val  T
+	ts   atomic.Uint64
+	next atomic.Pointer[Version[T]]
+}
+
+// VPointer is a versioned mutable cell of type T. The zero value holds
+// the zero value of T at the initial timestamp.
+type VPointer[T comparable] struct {
+	head atomic.Pointer[Version[T]]
+}
+
+// Init sets the initial value with a timestamp visible to all snapshots.
+// It must happen before the VPointer is shared.
+func (p *VPointer[T]) Init(v T) {
+	ver := &Version[T]{val: v}
+	ver.ts.Store(initialTS)
+	p.head.Store(ver)
+}
+
+func (p *VPointer[T]) loadHead(src epoch.Source) *Version[T] {
+	h := p.head.Load()
+	if h == nil {
+		// Lazily materialize the zero value so the zero VPointer works.
+		ver := &Version[T]{}
+		ver.ts.Store(initialTS)
+		if p.head.CompareAndSwap(nil, ver) {
+			return ver
+		}
+		h = p.head.Load()
+	}
+	initTS(h, src)
+	return h
+}
+
+// initTS fixes v's timestamp if it is still unstamped; concurrent
+// helpers race benignly via CAS.
+func initTS[T comparable](v *Version[T], src epoch.Source) {
+	if v.ts.Load() == unstamped {
+		v.ts.CompareAndSwap(unstamped, src.Stamp())
+	}
+}
+
+// Read returns the current value.
+func (p *VPointer[T]) Read(src epoch.Source) T {
+	return p.loadHead(src).val
+}
+
+// ReadVersion returns the value that was current at snapshot ts: the
+// newest version whose stamp is <= ts. If every version is newer, the
+// zero value of T and false are returned (the cell did not exist at ts).
+func (p *VPointer[T]) ReadVersion(src epoch.Source, ts uint64) (T, bool) {
+	for v := p.loadHead(src); v != nil; v = v.next.Load() {
+		initTS(v, src)
+		if v.ts.Load() <= ts {
+			return v.val, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// CompareAndSwap installs new if the current value equals old, reporting
+// success. On success the new version's timestamp is fixed before
+// returning. A CAS where old == new succeeds without installing a
+// version, as in the original (idempotent writes need no version).
+func (p *VPointer[T]) CompareAndSwap(src epoch.Source, old, new T) bool {
+	h := p.loadHead(src)
+	if h.val != old {
+		return false
+	}
+	if old == new {
+		return true
+	}
+	n := &Version[T]{val: new}
+	n.next.Store(h)
+	if !p.head.CompareAndSwap(h, n) {
+		return false
+	}
+	initTS(n, src)
+	return true
+}
+
+// ReadVersioned returns the current value together with its version
+// handle. The handle can be passed to CompareAndSwapVersion for an
+// ABA-immune update: a later write of the same value installs a new
+// version object, so a stale CAS against the old handle fails even
+// though the values match. The Ellen-style BST needs exactly this (a
+// deleted leaf's sibling can be promoted back into the same child slot,
+// recreating the old value).
+func (p *VPointer[T]) ReadVersioned(src epoch.Source) (T, *Version[T]) {
+	h := p.loadHead(src)
+	return h.val, h
+}
+
+// CompareAndSwapVersion installs new iff the current head version is
+// exactly expected (pointer identity), reporting success. The new
+// version's timestamp is fixed before returning.
+func (p *VPointer[T]) CompareAndSwapVersion(src epoch.Source, expected *Version[T], new T) bool {
+	n := &Version[T]{val: new}
+	n.next.Store(expected)
+	if !p.head.CompareAndSwap(expected, n) {
+		return false
+	}
+	initTS(n, src)
+	return true
+}
+
+// Prune drops versions strictly older than needed than minActive: the
+// newest version with ts <= minActive is kept as the boundary and
+// everything behind it is unlinked, letting the garbage collector
+// reclaim it. Safe because every active snapshot is >= minActive and
+// later snapshots only grow.
+func (p *VPointer[T]) Prune(src epoch.Source, minActive uint64) {
+	v := p.head.Load()
+	if v == nil {
+		return
+	}
+	for ; v != nil; v = v.next.Load() {
+		initTS(v, src)
+		if v.ts.Load() <= minActive {
+			v.next.Store(nil)
+			return
+		}
+	}
+}
+
+// Depth reports the current version-list length (for tests and GC
+// heuristics).
+func (p *VPointer[T]) Depth() int {
+	n := 0
+	for v := p.head.Load(); v != nil; v = v.next.Load() {
+		n++
+	}
+	return n
+}

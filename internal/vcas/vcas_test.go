@@ -1,0 +1,214 @@
+package vcas
+
+import (
+	"sync"
+	"testing"
+
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
+func TestReadAfterInit(t *testing.T) {
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	p.Init(7)
+	if got := p.Read(src); got != 7 {
+		t.Errorf("Read = %d, want 7", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	if got := p.Read(src); got != 0 {
+		t.Errorf("zero VPointer Read = %d, want 0", got)
+	}
+	if v, ok := p.ReadVersion(src, src.Snapshot()); !ok || v != 0 {
+		t.Errorf("zero VPointer ReadVersion = %d,%v", v, ok)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	p.Init(1)
+	if p.CompareAndSwap(src, 2, 3) {
+		t.Error("CAS with wrong expected value succeeded")
+	}
+	if !p.CompareAndSwap(src, 1, 2) {
+		t.Error("CAS with correct expected value failed")
+	}
+	if got := p.Read(src); got != 2 {
+		t.Errorf("Read after CAS = %d", got)
+	}
+	if !p.CompareAndSwap(src, 2, 2) {
+		t.Error("idempotent CAS failed")
+	}
+	if got := p.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2 (idempotent CAS installs nothing)", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	p.Init(10)
+	ts1 := src.Snapshot()
+	if !p.CompareAndSwap(src, 10, 20) {
+		t.Fatal("CAS failed")
+	}
+	ts2 := src.Snapshot()
+	if !p.CompareAndSwap(src, 20, 30) {
+		t.Fatal("CAS failed")
+	}
+	if v, ok := p.ReadVersion(src, ts1); !ok || v != 10 {
+		t.Errorf("at ts1: %d,%v want 10", v, ok)
+	}
+	if v, ok := p.ReadVersion(src, ts2); !ok || v != 20 {
+		t.Errorf("at ts2: %d,%v want 20", v, ok)
+	}
+	if got := p.Read(src); got != 30 {
+		t.Errorf("current = %d, want 30", got)
+	}
+}
+
+func TestSnapshotIsolationHybridSource(t *testing.T) {
+	src := epoch.NewHybridSource()
+	var p VPointer[int64]
+	p.Init(10)
+	ts1 := src.Snapshot()
+	if !p.CompareAndSwap(src, 10, 20) {
+		t.Fatal("CAS failed")
+	}
+	if v, ok := p.ReadVersion(src, ts1); !ok || v != 10 {
+		t.Errorf("at ts1: %d,%v want 10 (hybrid stamps must exceed snapshot)", v, ok)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	p.Init(0)
+	var stamps []uint64
+	for i := int64(1); i <= 10; i++ {
+		stamps = append(stamps, src.Snapshot()) // advance the clock
+		if !p.CompareAndSwap(src, i-1, i) {
+			t.Fatal("CAS failed")
+		}
+	}
+	if got := p.Depth(); got != 11 {
+		t.Fatalf("Depth = %d, want 11", got)
+	}
+	min := stamps[7]
+	p.Prune(src, min)
+	if got := p.Depth(); got > 5 {
+		t.Errorf("Depth after prune = %d, want <= 5", got)
+	}
+	// Everything at or after min must still resolve.
+	if v, ok := p.ReadVersion(src, min); !ok || v < 7 {
+		t.Errorf("ReadVersion(min) = %d,%v", v, ok)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	var tr epoch.Tracker
+	if got := tr.Min(); got != ^uint64(0) {
+		t.Errorf("empty tracker Min = %d", got)
+	}
+	t1 := tr.Enter(100)
+	t2 := tr.Enter(50)
+	if got := tr.Min(); got != 50 {
+		t.Errorf("Min = %d, want 50", got)
+	}
+	tr.Exit(t2)
+	if got := tr.Min(); got != 100 {
+		t.Errorf("Min = %d, want 100", got)
+	}
+	tr.Exit(t1)
+	if got := tr.Min(); got != ^uint64(0) {
+		t.Errorf("Min after exits = %d", got)
+	}
+}
+
+func TestConcurrentCASCounting(t *testing.T) {
+	// Exactly one CAS per expected value can succeed.
+	src := epoch.NewHybridSource()
+	var p VPointer[int64]
+	p.Init(0)
+	const goroutines = 8
+	const rounds = 500
+	var successes atomic64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < rounds; i++ {
+				if p.CompareAndSwap(src, i, i+1) {
+					successes.add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := p.Read(src); got != rounds {
+		t.Errorf("final value = %d, want %d", got, rounds)
+	}
+	if got := successes.load(); got != rounds {
+		t.Errorf("successful CASes = %d, want %d", got, rounds)
+	}
+}
+
+func TestConcurrentSnapshotsSeeMonotonicHistory(t *testing.T) {
+	// Readers at increasing snapshots must see non-decreasing values of
+	// a monotonically incremented cell.
+	src := epoch.NewCounterSource()
+	var p VPointer[int64]
+	p.Init(0)
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := int64(0); i < 3000; i++ {
+			p.CompareAndSwap(src, i, i+1)
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			lastTS := uint64(0)
+			lastVal := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := src.Snapshot()
+				v, ok := p.ReadVersion(src, ts)
+				if !ok {
+					t.Error("ReadVersion found no version")
+					return
+				}
+				if ts >= lastTS && v < lastVal {
+					t.Errorf("snapshot went backwards: ts %d -> %d but val %d -> %d",
+						lastTS, ts, lastVal, v)
+					return
+				}
+				lastTS, lastVal = ts, v
+			}
+		}()
+	}
+	writer.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+type atomic64 struct{ v atomic.Int64 }
+
+func (a *atomic64) add(d int64) { a.v.Add(d) }
+func (a *atomic64) load() int64 { return a.v.Load() }

@@ -1,0 +1,93 @@
+// Package skiphash is the public API of the skip hash: a fast,
+// linearizable, concurrent ordered map built on software transactional
+// memory, reproducing Rodriguez, Aksenov and Spear, "Skip Hash: A Fast
+// Ordered Map Via Software Transactional Memory".
+//
+// # Design
+//
+// A skip hash composes two transactional structures behind one
+// abstraction: a closed-addressing hash map routing each key to the node
+// holding it, and a doubly linked skip list keeping the nodes ordered.
+// Every elemental operation is a single STM transaction, which makes the
+// composition trivially atomic and yields O(1) expected complexity for
+// everything except successful insertion and absent-key point queries
+// (those pay one O(log n) skip list search).
+//
+// Range queries use a fast-path/slow-path scheme. The fast path runs the
+// whole query as one transaction that does not retry; under contention
+// or for very long ranges it falls back to a slow path coordinated by a
+// range query coordinator (RQC): the query takes a version number,
+// traverses from safe node to safe node in a resumable transaction, and
+// logically deleted nodes it still needs are kept stitched until it
+// finishes.
+//
+// # Usage
+//
+//	m := skiphash.NewInt64(skiphash.Config{})
+//	m.Insert(42, 420)
+//	v, ok := m.Lookup(42)
+//	pairs := m.Range(10, 100, nil)
+//
+// Hot paths should give each goroutine its own Handle:
+//
+//	h := m.NewHandle()
+//	h.Insert(1, 10)
+//
+// Because the map is STM-based, multi-key atomicity comes for free:
+//
+//	_ = m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
+//	    op.Remove(1)
+//	    op.Insert(2, 20) // observers see both or neither
+//	    return nil
+//	})
+package skiphash
+
+import (
+	"repro/internal/core"
+	"repro/internal/thashmap"
+)
+
+// Map is a concurrent ordered map. All methods are safe for concurrent
+// use; per-goroutine Handles avoid the small cost of borrowing pooled
+// state. See the package documentation for the design.
+type Map[K comparable, V any] = core.Map[K, V]
+
+// Handle is a per-goroutine context over a Map. Handles are not safe for
+// concurrent use; create one per worker with Map.NewHandle.
+type Handle[K comparable, V any] = core.Handle[K, V]
+
+// Txn is the transactional view of a Map inside Map.Atomic or
+// Handle.Atomic: every operation performed through it commits or rolls
+// back atomically with the rest.
+type Txn[K comparable, V any] = core.Txn[K, V]
+
+// Pair is a key/value pair produced by Range.
+type Pair[K comparable, V any] = core.Pair[K, V]
+
+// Config selects the tunables the paper's evaluation varies; the zero
+// value gives the recommended two-path configuration.
+type Config = core.Config
+
+// CheckOptions tunes Map.CheckInvariants.
+type CheckOptions = core.CheckOptions
+
+// RangeStats aggregates range-query path counters (fast attempts/aborts
+// and per-path completions) across a Map's handles.
+type RangeStats = core.RangeStats
+
+// New creates a skip hash for any key type: less supplies the ordering,
+// hash the distribution over buckets.
+func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config) *Map[K, V] {
+	return core.New[K, V](less, hash, cfg)
+}
+
+// NewInt64 creates a skip hash with int64 keys, matching the
+// configuration of the paper's evaluation (keys and values as signed
+// 64-bit integers).
+func NewInt64[V any](cfg Config) *Map[int64, V] {
+	return core.New[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg)
+}
+
+// Hash64 is a strong mixer for integer keys, exported for callers
+// building custom key types on top of int64 identities.
+func Hash64(k int64) uint64 { return thashmap.Hash64(k) }

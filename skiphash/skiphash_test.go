@@ -1,0 +1,142 @@
+package skiphash_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/maptest"
+	"repro/skiphash"
+)
+
+// adapter exposes a skip hash through the shared conformance interface.
+type adapter struct {
+	m *skiphash.Map[int64, int64]
+}
+
+func (a adapter) Lookup(k int64) (int64, bool) { return a.m.Lookup(k) }
+func (a adapter) Insert(k, v int64) bool       { return a.m.Insert(k, v) }
+func (a adapter) Remove(k int64) bool          { return a.m.Remove(k) }
+
+func (a adapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	pairs := a.m.Range(l, r, nil)
+	for _, p := range pairs {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+func (a adapter) Ceil(k int64) (int64, int64, bool)  { return a.m.Ceil(k) }
+func (a adapter) Floor(k int64) (int64, int64, bool) { return a.m.Floor(k) }
+func (a adapter) Succ(k int64) (int64, int64, bool)  { return a.m.Succ(k) }
+func (a adapter) Pred(k int64) (int64, int64, bool)  { return a.m.Pred(k) }
+
+func (a adapter) CheckQuiescent() error {
+	a.m.Quiesce()
+	return a.m.CheckInvariants(skiphash.CheckOptions{})
+}
+
+func factory(cfg skiphash.Config) maptest.Factory {
+	return func() maptest.OrderedMap {
+		cfg := cfg
+		cfg.Buckets = 1021
+		return adapter{m: skiphash.NewInt64[int64](cfg)}
+	}
+}
+
+func TestConformanceTwoPath(t *testing.T) {
+	maptest.RunAll(t, factory(skiphash.Config{}))
+}
+
+func TestConformanceFastOnly(t *testing.T) {
+	maptest.RunAll(t, factory(skiphash.Config{FastOnly: true}))
+}
+
+func TestConformanceSlowOnly(t *testing.T) {
+	maptest.RunAll(t, factory(skiphash.Config{SlowOnly: true}))
+}
+
+func TestConformanceUnbufferedRemovals(t *testing.T) {
+	maptest.RunAll(t, factory(skiphash.Config{RemovalBufferSize: -1}))
+}
+
+func TestStringKeys(t *testing.T) {
+	// The paper argues STM makes complex key types trivial; exercise a
+	// non-integral key type through the generic constructor.
+	m := skiphash.New[string, []string](
+		func(a, b string) bool { return a < b },
+		func(s string) uint64 {
+			var h uint64 = 1469598103934665603
+			for i := 0; i < len(s); i++ {
+				h = (h ^ uint64(s[i])) * 1099511628211
+			}
+			return h
+		},
+		skiphash.Config{Buckets: 101},
+	)
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, w := range words {
+		if !m.Insert(w, []string{strings.ToUpper(w)}) {
+			t.Fatalf("Insert(%q) failed", w)
+		}
+	}
+	pairs := m.Range("alpha", "delta", nil)
+	want := []string{"alpha", "bravo", "charlie", "delta"}
+	if len(pairs) != len(want) {
+		t.Fatalf("Range = %d pairs, want %d", len(pairs), len(want))
+	}
+	for i, p := range pairs {
+		if p.Key != want[i] || p.Val[0] != strings.ToUpper(want[i]) {
+			t.Errorf("pair %d = %v", i, p)
+		}
+	}
+	if k, _, ok := m.Succ("bravo"); !ok || k != "charlie" {
+		t.Errorf("Succ(bravo) = %q,%v", k, ok)
+	}
+}
+
+func ExampleNewInt64() {
+	m := skiphash.NewInt64[string](skiphash.Config{Buckets: 101})
+	m.Insert(3, "three")
+	m.Insert(1, "one")
+	m.Insert(2, "two")
+	for _, p := range m.Range(1, 3, nil) {
+		fmt.Println(p.Key, p.Val)
+	}
+	// Output:
+	// 1 one
+	// 2 two
+	// 3 three
+}
+
+func ExampleMap_All() {
+	m := skiphash.NewInt64[string](skiphash.Config{Buckets: 101})
+	m.Insert(2, "two")
+	m.Insert(1, "one")
+	for k, v := range m.All() {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 1 one
+	// 2 two
+}
+
+func TestAdaptiveRangeConfig(t *testing.T) {
+	maptest.RunAll(t, factory(skiphash.Config{Adaptive: true, AdaptiveSkip: 4}))
+}
+
+func ExampleMap_Atomic() {
+	m := skiphash.NewInt64[int64](skiphash.Config{Buckets: 101})
+	m.Insert(1, 100)
+	// Move the value from key 1 to key 2 atomically.
+	_ = m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
+		v, _ := op.Lookup(1)
+		op.Remove(1)
+		op.Insert(2, v)
+		return nil
+	})
+	_, ok1 := m.Lookup(1)
+	v2, ok2 := m.Lookup(2)
+	fmt.Println(ok1, v2, ok2)
+	// Output: false 100 true
+}
