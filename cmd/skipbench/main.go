@@ -7,6 +7,7 @@
 //	skipbench fig5 -mix a..f   # Figure 5: throughput vs thread count
 //	skipbench fig6             # Figure 6: split roles vs range length
 //	skipbench table1           # Table 1: fast-path aborts per query
+//	skipbench shards           # shard-count sweep of the sharded variant
 //	skipbench all              # everything
 //
 // Flags:
@@ -16,6 +17,7 @@
 //	-universe n   key universe size (default 1000000)
 //	-threads list comma-separated thread counts (default: host-scaled sweep)
 //	-csv file     append machine-readable rows to file
+//	-json file    write per-workload throughput/abort-rate rows as JSON
 //	-quick        smoke-test mode (200ms trials, 2^16 universe)
 package main
 
@@ -44,6 +46,7 @@ func main() {
 		universe = fs.Int64("universe", 1_000_000, "key universe size")
 		threads  = fs.String("threads", "", "comma-separated thread counts")
 		csvPath  = fs.String("csv", "", "append CSV rows to this file")
+		jsonPath = fs.String("json", "", "write JSON rows to this file")
 		quick    = fs.Bool("quick", false, "smoke-test mode")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -79,6 +82,9 @@ func main() {
 		defer f.Close()
 		opts.CSV = f
 	}
+	if *jsonPath != "" {
+		opts.Report = &bench.Report{}
+	}
 
 	var err error
 	switch cmd {
@@ -88,6 +94,8 @@ func main() {
 		err = bench.Fig6(os.Stdout, opts)
 	case "table1":
 		err = bench.Table1(os.Stdout, opts)
+	case "shards":
+		err = bench.Shards(os.Stdout, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -101,6 +109,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Table1(os.Stdout, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Shards(os.Stdout, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -110,10 +122,30 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if opts.Report != nil {
+		// Best-effort even when an experiment failed: rows collected
+		// before the failure are still worth keeping (the CSV path
+		// likewise streams everything up to the error).
+		if werr := writeReport(opts.Report, *jsonPath); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skipbench:", err)
 		os.Exit(1)
 	}
+}
+
+func writeReport(r *bench.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -130,7 +162,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
+//	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow] [-shards n]
 package main
 
 import (
@@ -23,6 +23,24 @@ import (
 	"repro/skiphash"
 )
 
+// stressMap is the common face of the unsharded and sharded skip hash
+// that the stress loop needs.
+type stressMap interface {
+	Lookup(k int64) (int64, bool)
+	Quiesce()
+	CheckInvariants(skiphash.CheckOptions) error
+	RangeStats() skiphash.RangeStats
+}
+
+// stressHandle is the per-worker face; both skiphash.Handle and
+// skiphash.ShardedHandle satisfy it.
+type stressHandle interface {
+	Insert(k, v int64) bool
+	Remove(k int64) bool
+	Lookup(k int64) (int64, bool)
+	Range(l, r int64, out []skiphash.Pair[int64, int64]) []skiphash.Pair[int64, int64]
+}
+
 func main() {
 	var (
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
@@ -30,6 +48,8 @@ func main() {
 		universe = flag.Int64("universe", 1<<16, "key universe")
 		mode     = flag.String("mode", "two-path", "range path: two-path, fast, or slow")
 		rangeLen = flag.Int64("rangelen", 128, "range query length")
+		shards   = flag.Int("shards", 0, "shard count (0 = unsharded; -1 = GOMAXPROCS-derived)")
+		isolated = flag.Bool("isolated", false, "per-shard STM runtimes (with -shards)")
 	)
 	flag.Parse()
 
@@ -44,10 +64,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skipstress: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	m := skiphash.NewInt64[int64](cfg)
+	var m stressMap
+	var newHandle func() stressHandle
+	variant := "unsharded"
+	if *shards != 0 {
+		if *shards > 0 {
+			cfg.Shards = *shards
+		}
+		cfg.IsolatedShards = *isolated
+		sm := skiphash.NewInt64Sharded[int64](cfg)
+		m = sm
+		newHandle = func() stressHandle { return sm.NewHandle() }
+		variant = fmt.Sprintf("%d shards", sm.NumShards())
+		if *isolated {
+			variant += " (isolated)"
+		}
+	} else {
+		um := skiphash.NewInt64[int64](cfg)
+		m = um
+		newHandle = func() stressHandle { return um.NewHandle() }
+	}
 
-	fmt.Printf("skipstress: %d threads, %v, universe %d, mode %s\n",
-		*threads, *duration, *universe, *mode)
+	fmt.Printf("skipstress: %d threads, %v, universe %d, mode %s, %s\n",
+		*threads, *duration, *universe, *mode, variant)
 
 	perKey := make([]atomic.Int64, *universe)
 	var ops, ranges, failures atomic.Uint64
@@ -57,7 +96,7 @@ func main() {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			h := m.NewHandle()
+			h := newHandle()
 			rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
 			var buf []skiphash.Pair[int64, int64]
 			for {

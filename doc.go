@@ -1,6 +1,8 @@
 // Package repro is a from-scratch Go reproduction of "Skip Hash: A Fast
 // Ordered Map Via Software Transactional Memory" (Rodriguez, Aksenov,
-// Spear). The public API lives in repro/skiphash; the experiment drivers
-// in cmd/skipbench regenerate every figure and table of the paper's
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// Spear). The public API lives in repro/skiphash — including the
+// sharded variant that partitions the map across independent skip-hash
+// shards — and the experiment drivers in cmd/skipbench regenerate every
+// figure and table of the paper's evaluation plus the shard sweep. See
+// README.md for the package map and quickstart.
 package repro

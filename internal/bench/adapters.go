@@ -49,6 +49,12 @@ type RangePathStats interface {
 	RangeStats() skiphash.RangeStats
 }
 
+// STMStatsSource is implemented by subjects that can report STM
+// commit/abort counters; the JSON report derives abort rates from it.
+type STMStatsSource interface {
+	STMStats() stm.Stats
+}
+
 // --- Skip hash variants -------------------------------------------------
 
 // SkipHash wraps a skip hash variant for the harness.
@@ -92,6 +98,9 @@ func (s *SkipHash) SupportsRange() bool { return true }
 // RangeStats implements RangePathStats.
 func (s *SkipHash) RangeStats() skiphash.RangeStats { return s.m.RangeStats() }
 
+// STMStats implements STMStatsSource.
+func (s *SkipHash) STMStats() stm.Stats { return s.m.Runtime().Stats() }
+
 // NewWorker implements Map.
 func (s *SkipHash) NewWorker() Worker {
 	return &skipHashWorker{h: s.m.NewHandle()}
@@ -109,6 +118,69 @@ func (w *skipHashWorker) Lookup(k int64) bool {
 func (w *skipHashWorker) Insert(k, v int64) bool { return w.h.Insert(k, v) }
 func (w *skipHashWorker) Remove(k int64) bool    { return w.h.Remove(k) }
 func (w *skipHashWorker) Range(l, r int64) int {
+	w.buf = w.h.Range(l, r, w.buf[:0])
+	return len(w.buf)
+}
+
+// --- Sharded skip hash ---------------------------------------------------
+
+// ShardedSkipHash wraps the hash-partitioned skip hash (the series this
+// repository adds beyond the paper): S independent shards behind the
+// same ordered-map interface.
+type ShardedSkipHash struct {
+	m    *skiphash.Sharded[int64, int64]
+	name string
+}
+
+// NewShardedSkipHash builds the sharded series. shards of 0 derives the
+// partition count from GOMAXPROCS; buckets of 0 selects the paper's
+// total table size, split across shards. isolated selects per-shard STM
+// runtimes instead of the default shared one.
+func NewShardedSkipHash(shards, buckets int, isolated bool) *ShardedSkipHash {
+	if buckets == 0 {
+		buckets = thashmap.DefaultBuckets
+	}
+	cfg := skiphash.Config{Buckets: buckets, Shards: shards, IsolatedShards: isolated}
+	m := skiphash.NewInt64Sharded[int64](cfg)
+	name := fmt.Sprintf("skiphash-sharded-%d", m.NumShards())
+	if isolated {
+		name += "-iso"
+	}
+	return &ShardedSkipHash{m: m, name: name}
+}
+
+// Name implements Map.
+func (s *ShardedSkipHash) Name() string { return s.name }
+
+// NumShards reports the resolved partition count, for report rows.
+func (s *ShardedSkipHash) NumShards() int { return s.m.NumShards() }
+
+// SupportsRange implements Map.
+func (s *ShardedSkipHash) SupportsRange() bool { return true }
+
+// RangeStats implements RangePathStats.
+func (s *ShardedSkipHash) RangeStats() skiphash.RangeStats { return s.m.RangeStats() }
+
+// STMStats implements STMStatsSource.
+func (s *ShardedSkipHash) STMStats() stm.Stats { return s.m.STMStats() }
+
+// NewWorker implements Map.
+func (s *ShardedSkipHash) NewWorker() Worker {
+	return &shardedWorker{h: s.m.NewHandle()}
+}
+
+type shardedWorker struct {
+	h   *skiphash.ShardedHandle[int64, int64]
+	buf []skiphash.Pair[int64, int64]
+}
+
+func (w *shardedWorker) Lookup(k int64) bool {
+	_, ok := w.h.Lookup(k)
+	return ok
+}
+func (w *shardedWorker) Insert(k, v int64) bool { return w.h.Insert(k, v) }
+func (w *shardedWorker) Remove(k int64) bool    { return w.h.Remove(k) }
+func (w *shardedWorker) Range(l, r int64) int {
 	w.buf = w.h.Range(l, r, w.buf[:0])
 	return len(w.buf)
 }

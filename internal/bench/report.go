@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/stm"
+
+	"repro/skiphash"
+)
+
+// Row is one machine-readable data point of an experiment run, written
+// by the -json flag of cmd/skipbench for the perf trajectory.
+type Row struct {
+	// Experiment identifies the driver: "fig5a".."fig5f", "fig6",
+	// "table1", or "shards".
+	Experiment string `json:"experiment"`
+	// Workload is the operation mix's human name, when applicable.
+	Workload string `json:"workload,omitempty"`
+	// Map is the subject series name.
+	Map string `json:"map"`
+	// Threads is the worker count of the data point.
+	Threads int `json:"threads,omitempty"`
+	// Shards is the partition count for sharded subjects.
+	Shards int `json:"shards,omitempty"`
+	// RangeLen is the range length for fig6/table1 points.
+	RangeLen int64 `json:"range_len,omitempty"`
+	// Mops is throughput in millions of operations per second.
+	Mops float64 `json:"mops,omitempty"`
+	// UpdateMops/RangeMpairs split fig6's two roles.
+	UpdateMops  float64 `json:"update_mops,omitempty"`
+	RangeMpairs float64 `json:"range_mpairs,omitempty"`
+	// Commits/Aborts/AbortRate are STM counters over the data point's
+	// window, for subjects that expose them.
+	Commits   uint64  `json:"commits,omitempty"`
+	Aborts    uint64  `json:"aborts,omitempty"`
+	AbortRate float64 `json:"abort_rate,omitempty"`
+	// FastCommits/SlowCommits/FastAborts are range-path counters, for
+	// subjects that expose them.
+	FastCommits uint64 `json:"fast_commits,omitempty"`
+	SlowCommits uint64 `json:"slow_commits,omitempty"`
+	FastAborts  uint64 `json:"fast_aborts,omitempty"`
+}
+
+// Report collects Rows across experiments; it is safe for concurrent
+// use.
+type Report struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+// Add appends one row.
+func (r *Report) Add(row Row) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rows = append(r.rows, row)
+	r.mu.Unlock()
+}
+
+// Rows returns a snapshot of the collected rows.
+func (r *Report) Rows() []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Row, len(r.rows))
+	copy(out, r.rows)
+	return out
+}
+
+// WriteJSON writes the collected rows as an indented JSON array.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Rows())
+}
+
+// fillSubjectStats decorates row with the subject's identity (the
+// constructed map's name — which, unlike the factory label, carries the
+// resolved shard count — plus the shard count itself) and its STM and
+// range-path counters relative to the pre-run snapshots.
+func fillSubjectStats(row *Row, m Map, stmBefore stm.Stats, rqBefore skiphash.RangeStats) {
+	row.Map = m.Name()
+	if ns, ok := m.(interface{ NumShards() int }); ok {
+		row.Shards = ns.NumShards()
+	}
+	if src, ok := m.(STMStatsSource); ok {
+		d := src.STMStats().Sub(stmBefore)
+		row.Commits = d.Commits
+		row.Aborts = d.Aborts
+		if total := d.Commits + d.Aborts; total > 0 {
+			row.AbortRate = float64(d.Aborts) / float64(total)
+		}
+	}
+	if src, ok := m.(RangePathStats); ok {
+		d := src.RangeStats().Sub(rqBefore)
+		row.FastCommits = d.FastCommits
+		row.SlowCommits = d.SlowCommits
+		row.FastAborts = d.FastAborts
+	}
+}
+
+// subjectSnapshots captures the pre-run counters needed by
+// fillSubjectStats; zero values are returned for subjects without the
+// interfaces.
+func subjectSnapshots(m Map) (stm.Stats, skiphash.RangeStats) {
+	var s stm.Stats
+	var r skiphash.RangeStats
+	if src, ok := m.(STMStatsSource); ok {
+		s = src.STMStats()
+	}
+	if src, ok := m.(RangePathStats); ok {
+		r = src.RangeStats()
+	}
+	return s, r
+}

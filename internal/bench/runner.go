@@ -119,10 +119,19 @@ func Prefill(m Map, universe int64, seed uint64) int64 {
 // the averaged result. The map must be empty when passed in.
 func Run(m Map, w Workload, rc RunConfig) Result {
 	w = w.withDefaults()
+	Prefill(m, w.Universe, rc.Seed+1)
+	return RunTrials(m, w, rc)
+}
+
+// RunTrials executes only the measured trials against an already
+// prefilled map. Callers that snapshot per-subject counters (the JSON
+// report) prefill first, snapshot, then call this, so the prefill
+// phase's transactions stay out of the measured window.
+func RunTrials(m Map, w Workload, rc RunConfig) Result {
+	w = w.withDefaults()
 	if rc.Trials == 0 {
 		rc.Trials = 1
 	}
-	Prefill(m, w.Universe, rc.Seed+1)
 	var sum Result
 	for trial := 0; trial < rc.Trials; trial++ {
 		r := runTrial(m, w, rc, uint64(trial))
@@ -229,10 +238,19 @@ func RunSplit(m Map, updateThreads, rangeThreads int, rangeLen, universe int64, 
 	if universe == 0 {
 		universe = 1_000_000
 	}
+	Prefill(m, universe, rc.Seed+1)
+	return RunSplitTrials(m, updateThreads, rangeThreads, rangeLen, universe, rc)
+}
+
+// RunSplitTrials executes only the measured split-role trials against
+// an already prefilled map; see RunTrials.
+func RunSplitTrials(m Map, updateThreads, rangeThreads int, rangeLen, universe int64, rc RunConfig) SplitResult {
+	if universe == 0 {
+		universe = 1_000_000
+	}
 	if rc.Trials == 0 {
 		rc.Trials = 1
 	}
-	Prefill(m, universe, rc.Seed+1)
 	var sum SplitResult
 	for trial := 0; trial < rc.Trials; trial++ {
 		r := runSplitTrial(m, updateThreads, rangeThreads, rangeLen, universe, rc, uint64(trial))

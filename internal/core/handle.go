@@ -151,28 +151,42 @@ func (h *Handle[K, V]) pointQuery(k K, fn func(*stm.Tx, *Handle[K, V], K) (K, V,
 // slow path (subject to the FastOnly/SlowOnly configuration).
 func (h *Handle[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 	m := h.m
-	tryFast := !m.cfg.SlowOnly
-	if tryFast && m.cfg.Adaptive && h.adaptSkip > 0 {
-		h.adaptSkip--
+	return TwoPathRange(m.cfg, &h.stats, &h.adaptSkip,
+		func() ([]Pair[K, V], error) { return m.rangeFast(h, l, r, out) },
+		func() []Pair[K, V] { return m.rangeSlow(h, l, r, out) })
+}
+
+// TwoPathRange drives Figure 3's two-path policy for one range query:
+// up to FastPathTries fast attempts (forever under FastOnly, none under
+// SlowOnly or inside an Adaptive skip window), then the slow fallback,
+// with the path counters and the adaptive window updated on the way.
+// It is shared with the sharded frontend so the policy — and any future
+// tuning of it — cannot drift between the two maps. fast reports a
+// conflict through its error; slow must always succeed.
+func TwoPathRange[K comparable, V any](cfg Config, stats *HandleStats, adaptSkip *int,
+	fast func() ([]Pair[K, V], error), slow func() []Pair[K, V]) []Pair[K, V] {
+	tryFast := !cfg.SlowOnly
+	if tryFast && cfg.Adaptive && *adaptSkip > 0 {
+		*adaptSkip--
 		tryFast = false
 	}
 	if tryFast {
-		for i := 0; m.cfg.FastOnly || i < m.cfg.FastPathTries; i++ {
-			h.stats.RangeFastAttempts.Add(1)
-			res, err := m.rangeFast(h, l, r, out)
+		for i := 0; cfg.FastOnly || i < cfg.FastPathTries; i++ {
+			stats.RangeFastAttempts.Add(1)
+			res, err := fast()
 			if err == nil {
-				h.stats.RangeFastCommits.Add(1)
-				h.adaptSkip = 0
+				stats.RangeFastCommits.Add(1)
+				*adaptSkip = 0
 				return res
 			}
-			h.stats.RangeFastAborts.Add(1)
+			stats.RangeFastAborts.Add(1)
 		}
-		if m.cfg.Adaptive {
-			h.adaptSkip = m.cfg.AdaptiveSkip
+		if cfg.Adaptive {
+			*adaptSkip = cfg.AdaptiveSkip
 		}
 	}
-	res := m.rangeSlow(h, l, r, out)
-	h.stats.RangeSlowCommits.Add(1)
+	res := slow()
+	stats.RangeSlowCommits.Add(1)
 	return res
 }
 

@@ -45,6 +45,22 @@ type Config struct {
 	// Clock overrides the STM commit clock (default: monotonic
 	// "hardware" clock, the configuration the paper reports).
 	Clock stm.Clock
+	// ClockFactory, when set and Clock is nil, mints the commit clock.
+	// Its purpose is isolated sharding: the sharded frontend calls it
+	// once per shard, so counter-based clocks (gv1/gv5) can be private
+	// per shard instead of one shared instance ticking one cacheline.
+	ClockFactory func() stm.Clock
+	// Shards selects the partition count of the sharded frontend
+	// (internal/shard, surfaced as skiphash.NewSharded). Zero derives a
+	// power of two from GOMAXPROCS. A single map ignores it; Buckets is
+	// interpreted as the total across shards.
+	Shards int
+	// IsolatedShards gives every shard of the sharded frontend its own
+	// STM runtime and clock instead of one shared runtime. Point
+	// operations are unaffected; cross-shard operations (ranges,
+	// iterators, point queries, Atomic) weaken as documented on
+	// shard.Sharded. A single map ignores it.
+	IsolatedShards bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,10 +102,27 @@ type Map[K comparable, V any] struct {
 	handles    []*Handle[K, V]
 }
 
-// New creates a skip hash ordered by less and hashed by hash.
+// New creates a skip hash ordered by less and hashed by hash. It builds
+// a private STM runtime from cfg.Clock; callers embedding the map in a
+// larger transactional system (for example the sharded frontend in
+// internal/shard) inject an existing runtime with NewIn instead.
 func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config) *Map[K, V] {
+	clock := cfg.Clock
+	if clock == nil && cfg.ClockFactory != nil {
+		clock = cfg.ClockFactory()
+	}
+	return NewIn[K, V](stm.New(stm.WithClock(clock)), less, hash, cfg)
+}
+
+// NewIn creates a skip hash whose transactions run on the existing
+// runtime rt. Every dependency is injected: rt supplies the commit clock
+// and descriptor pool, hash the distribution over cfg.Buckets chains,
+// and less the ordering. Maps sharing one runtime live in one timestamp
+// and transaction-ID domain, so a single transaction may span them (see
+// Handle.Bind); maps on distinct runtimes are fully independent and must
+// never be touched from one transaction.
+func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash func(K) uint64, cfg Config) *Map[K, V] {
 	cfg = cfg.withDefaults()
-	rt := stm.New(stm.WithClock(cfg.Clock))
 	m := &Map[K, V]{
 		rt:   rt,
 		less: less,

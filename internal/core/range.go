@@ -31,23 +31,59 @@ func (m *Map[K, V]) rangeFast(h *Handle[K, V], l, r K, out []Pair[K, V]) ([]Pair
 // logically present node at or after l and registers with the RQC —
 // doing both atomically makes the start node safe and is the query's
 // linearization point. The traversal then proceeds as a resumable
-// transaction: the pairs collected so far and the current safe node are
-// plain locals that survive aborts (atomic(no_local_undo)), so an abort
-// behaves as an early commit and the next attempt picks up exactly where
-// the last one stopped. A finalizing call hands the query's safe nodes
-// back to the RQC.
+// transaction; a finalizing call hands the query's safe nodes back to
+// the RQC.
 func (m *Map[K, V]) rangeSlow(h *Handle[K, V], l, r K, out []Pair[K, V]) []Pair[K, V] {
-	var op *rangeOp[K, V]
-	var start *node[K, V]
+	var sr *SlowRange[K, V]
 	_ = m.rt.Atomic(func(tx *stm.Tx) error {
-		start = m.ceilNodeTx(tx, h, l)
-		op = m.rqc.onRange(tx)
+		sr = m.BeginSlowRangeTx(tx, h, l)
 		return nil
 	})
-	ver := op.ver
+	out = sr.Collect(r, out)
+	sr.Finish()
+	return out
+}
 
+// SlowRange is a registered slow-path range query whose lifecycle the
+// caller drives: BeginSlowRangeTx registers it, Collect traverses, and
+// Finish deregisters it from the RQC. The skip hash's own Range drives
+// one per fallback; the sharded frontend registers one per shard inside
+// a single cross-shard transaction so that the union of the per-shard
+// traversals is a snapshot taken at the registration commit instant.
+type SlowRange[K comparable, V any] struct {
+	m  *Map[K, V]
+	op *rangeOp[K, V]
+	n  *node[K, V] // resumable cursor: next safe node to collect
+}
+
+// BeginSlowRangeTx registers a slow-path range query starting at the
+// first logically present key >= l, inside the caller's transaction.
+// Performing the ceil search and the RQC registration in one transaction
+// makes the start node safe and is the query's linearization point. The
+// caller must eventually call Finish exactly once (after the enclosing
+// transaction commits); if the enclosing transaction aborts, the
+// registration is rolled back and the returned value from the failed
+// attempt must be discarded.
+func (m *Map[K, V]) BeginSlowRangeTx(tx *stm.Tx, h *Handle[K, V], l K) *SlowRange[K, V] {
+	return &SlowRange[K, V]{
+		m:  m,
+		op: m.rqc.onRange(tx),
+		n:  m.ceilNodeTx(tx, h, l),
+	}
+}
+
+// Collect traverses safe nodes from the current cursor while key <= r,
+// appending pairs to out. The traversal is a resumable transaction: the
+// pairs collected so far and the current safe node are plain locals that
+// survive aborts (atomic(no_local_undo)), so an abort behaves as an
+// early commit and the next attempt picks up exactly where the last one
+// stopped. The cursor persists across calls, so Collect may be invoked
+// again with a larger r to extend the scan.
+func (s *SlowRange[K, V]) Collect(r K, out []Pair[K, V]) []Pair[K, V] {
+	m := s.m
+	ver := s.op.ver
 	set := out
-	n := start
+	n := s.n
 	_ = m.rt.Atomic(func(tx *stm.Tx) error {
 		// Loop order matters for exactly-once collection: the only
 		// transactional reads are inside nextSafe and precede the
@@ -60,8 +96,14 @@ func (m *Map[K, V]) rangeSlow(h *Handle[K, V], l, r K, out []Pair[K, V]) []Pair[
 		}
 		return nil
 	})
-	m.rqc.afterRange(m, op)
+	s.n = n
 	return set
+}
+
+// Finish deregisters the query, handing its deferred nodes back to the
+// RQC for reclamation. It must be called exactly once.
+func (s *SlowRange[K, V]) Finish() {
+	s.m.rqc.afterRange(s.m, s.op)
 }
 
 // nextSafe walks level 0 from n to the next node that is safe for a

@@ -1,0 +1,29 @@
+package kv
+
+import "testing"
+
+// TestKV pins the properties the harness and conformance suite rely
+// on: KV is a comparable value type whose zero value is (0, 0), usable
+// as a map key and compared field-wise.
+func TestKV(t *testing.T) {
+	var zero KV
+	if zero.Key != 0 || zero.Val != 0 {
+		t.Fatalf("zero KV = %+v", zero)
+	}
+	a := KV{Key: 1, Val: 10}
+	b := a
+	if a != b {
+		t.Fatal("copies compare unequal")
+	}
+	b.Val = 11
+	if a == b {
+		t.Fatal("field-wise comparison broken")
+	}
+	if a != (KV{Key: 1, Val: 10}) {
+		t.Fatal("composite literal comparison broken")
+	}
+	set := map[KV]bool{a: true, b: true}
+	if len(set) != 2 || !set[KV{Key: 1, Val: 10}] || !set[KV{Key: 1, Val: 11}] {
+		t.Fatalf("KV as map key: %v", set)
+	}
+}

@@ -1,0 +1,245 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// Handle is a per-goroutine context over a Sharded map. It owns one
+// core.Handle per shard (each with its own search scratch and removal
+// buffer), the per-shard segment buffers the k-way merge reuses, and
+// the shard-level range-path counters. A Handle must not be used
+// concurrently; create one per worker with Sharded.NewHandle.
+type Handle[K comparable, V any] struct {
+	s     *Sharded[K, V]
+	hs    []*core.Handle[K, V]
+	segs  [][]Pair[K, V]
+	heads []int
+	stats core.HandleStats
+	// adaptSkip counts remaining range queries that bypass the fast
+	// path under Config.Adaptive (shared mode only; isolated shards run
+	// their own adaptive policy inside core).
+	adaptSkip int
+}
+
+// NewHandle creates a handle bound to s and registers it for stats
+// aggregation.
+func (s *Sharded[K, V]) NewHandle() *Handle[K, V] {
+	h := &Handle[K, V]{
+		s:     s,
+		hs:    make([]*core.Handle[K, V], len(s.shards)),
+		segs:  make([][]Pair[K, V], len(s.shards)),
+		heads: make([]int, len(s.shards)),
+	}
+	for i, m := range s.shards {
+		h.hs[i] = m.NewHandle()
+	}
+	s.mu.Lock()
+	s.handles = append(s.handles, h)
+	s.mu.Unlock()
+	return h
+}
+
+// Sharded returns the map this handle operates on.
+func (h *Handle[K, V]) Sharded() *Sharded[K, V] { return h.s }
+
+// FlushRemovals drains the removal buffers of every per-shard handle.
+func (h *Handle[K, V]) FlushRemovals() {
+	for _, ch := range h.hs {
+		ch.FlushRemovals()
+	}
+}
+
+// Stats returns a snapshot of the handle's shard-level range counters.
+func (h *Handle[K, V]) Stats() (attempts, fastAborts, fastCommits, slowCommits uint64) {
+	return h.stats.RangeFastAttempts.Load(),
+		h.stats.RangeFastAborts.Load(),
+		h.stats.RangeFastCommits.Load(),
+		h.stats.RangeSlowCommits.Load()
+}
+
+// Point operations route to exactly one shard and inherit the skip
+// hash's O(1) complexity untouched.
+
+// Lookup returns the value associated with k.
+func (h *Handle[K, V]) Lookup(k K) (V, bool) {
+	return h.hs[h.s.shardOf(k)].Lookup(k)
+}
+
+// Contains reports whether k is present.
+func (h *Handle[K, V]) Contains(k K) bool {
+	return h.hs[h.s.shardOf(k)].Contains(k)
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (h *Handle[K, V]) Insert(k K, v V) bool {
+	return h.hs[h.s.shardOf(k)].Insert(k, v)
+}
+
+// Remove deletes k and reports whether it was present.
+func (h *Handle[K, V]) Remove(k K) bool {
+	return h.hs[h.s.shardOf(k)].Remove(k)
+}
+
+// Put sets k to v unconditionally, reporting whether a previous value
+// was replaced. Replacement stays within one shard, so it is atomic in
+// both modes.
+func (h *Handle[K, V]) Put(k K, v V) bool {
+	return h.hs[h.s.shardOf(k)].Put(k, v)
+}
+
+// Point queries probe every shard and reduce. In shared mode the probes
+// run inside one read-only transaction, so the answer is a snapshot; in
+// isolated mode each shard is probed in its own transaction and the
+// reduction is only as consistent as the probes' interleaving.
+
+// Ceil returns the smallest key >= k and its value.
+func (h *Handle[K, V]) Ceil(k K) (K, V, bool) {
+	return h.reduce(k, false, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Ceil(k) })
+}
+
+// Succ returns the smallest key > k and its value.
+func (h *Handle[K, V]) Succ(k K) (K, V, bool) {
+	return h.reduce(k, false, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Succ(k) })
+}
+
+// Floor returns the largest key <= k and its value.
+func (h *Handle[K, V]) Floor(k K) (K, V, bool) {
+	return h.reduce(k, true, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Floor(k) })
+}
+
+// Pred returns the largest key < k and its value.
+func (h *Handle[K, V]) Pred(k K) (K, V, bool) {
+	return h.reduce(k, true, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Pred(k) })
+}
+
+// reduce runs the per-shard point query q against every shard and keeps
+// the best answer (max when wantMax, min otherwise).
+func (h *Handle[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K) (K, V, bool)) (K, V, bool) {
+	s := h.s
+	var bk K
+	var bv V
+	var bok bool
+	keep := func(ck K, cv V) {
+		if !bok || (wantMax && s.less(bk, ck)) || (!wantMax && s.less(ck, bk)) {
+			bk, bv, bok = ck, cv, true
+		}
+	}
+	if s.isolated {
+		for i := range h.hs {
+			hi := h.hs[i]
+			var ck K
+			var cv V
+			var ok bool
+			// The closure may re-execute after an abort; only its final
+			// (committed) answer may reach the reduction, so the shard's
+			// result lands in per-attempt locals and keep runs outside.
+			_ = hi.Atomic(func(op *core.Txn[K, V]) error {
+				ck, cv, ok = q(op, k)
+				return nil
+			})
+			if ok {
+				keep(ck, cv)
+			}
+		}
+		return bk, bv, bok
+	}
+	_ = s.rt.Atomic(func(tx *stm.Tx) error {
+		bok = false
+		for i := range h.hs {
+			if ck, cv, ok := q(h.hs[i].Bind(tx), k); ok {
+				keep(ck, cv)
+			}
+		}
+		return nil
+	})
+	return bk, bv, bok
+}
+
+// Range appends every pair with l <= key <= r, in key order, to out.
+// In shared mode it reproduces the two-path scheme across shards: the
+// fast path collects every shard's segment in one try-once transaction;
+// the slow path registers a range op with every shard's RQC in one
+// transaction (the query's linearization point) and then runs each
+// shard's resumable safe-node traversal. In isolated mode each shard
+// answers with its own two-path range and the merge is only per-shard
+// snapshot consistent.
+func (h *Handle[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	s := h.s
+	if s.isolated || len(h.hs) == 1 {
+		for i := range h.hs {
+			h.segs[i] = h.hs[i].Range(l, r, h.segs[i][:0])
+		}
+		return h.merge(out)
+	}
+	return core.TwoPathRange(s.shards[0].Config(), &h.stats, &h.adaptSkip,
+		func() ([]Pair[K, V], error) { return h.rangeFast(l, r, out) },
+		func() []Pair[K, V] { return h.rangeSlow(l, r, out) })
+}
+
+// rangeFast is the cross-shard fast path: one transaction that walks
+// every shard's [l, r] segment and does not retry. Because all shards
+// share one runtime, a commit means every segment belongs to the same
+// snapshot.
+func (h *Handle[K, V]) rangeFast(l, r K, out []Pair[K, V]) ([]Pair[K, V], error) {
+	err := h.s.rt.TryOnce(func(tx *stm.Tx) error {
+		for i := range h.hs {
+			h.segs[i] = h.hs[i].Bind(tx).Range(l, r, h.segs[i][:0])
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	return h.merge(out), nil
+}
+
+// rangeSlow is the cross-shard slow path: registering with every
+// shard's RQC in a single transaction pins every shard's version
+// counter at one commit instant, so the per-shard safe-node traversals
+// — each individually resumable — jointly reconstruct the snapshot at
+// that instant.
+func (h *Handle[K, V]) rangeSlow(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	srs := make([]*core.SlowRange[K, V], len(h.hs))
+	_ = h.s.rt.Atomic(func(tx *stm.Tx) error {
+		for i := range h.hs {
+			srs[i] = h.hs[i].Map().BeginSlowRangeTx(tx, h.hs[i], l)
+		}
+		return nil
+	})
+	for i := range srs {
+		h.segs[i] = srs[i].Collect(r, h.segs[i][:0])
+	}
+	for i := range srs {
+		srs[i].Finish()
+	}
+	return h.merge(out)
+}
+
+// merge k-way merges the handle's per-shard segment buffers into out.
+// Segments are sorted and pairwise disjoint (shards partition the key
+// space), so a linear selection per element suffices at the shard
+// counts this package allows.
+func (h *Handle[K, V]) merge(out []Pair[K, V]) []Pair[K, V] {
+	less := h.s.less
+	idx := h.heads
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		for i := range h.segs {
+			if idx[i] >= len(h.segs[i]) {
+				continue
+			}
+			if best < 0 || less(h.segs[i][idx[i]].Key, h.segs[best][idx[best]].Key) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, h.segs[best][idx[best]])
+		idx[best]++
+	}
+}

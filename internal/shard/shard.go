@@ -1,0 +1,328 @@
+// Package shard partitions the skip hash across S independent shards,
+// turning "one STM instance" into "as many as the hardware has cores".
+// Keys are hash-partitioned: each shard is a complete core.Map (hash
+// index + doubly linked skip list + range query coordinator), so point
+// operations touch exactly one shard and never share a cacheline with
+// traffic on any other. Ordered operations are rebuilt at this layer by
+// k-way merging per-shard segments, which stay sorted and disjoint
+// because the shards partition the key space.
+//
+// # Consistency model
+//
+// By default every shard runs on one shared STM runtime whose commit
+// clock is the stateless monotonic "hardware" clock: drawing a
+// timestamp writes no shared memory, so the shared runtime adds no
+// cross-shard contention to point operations, while keeping all shards
+// in a single timestamp and transaction-ID domain. That domain is what
+// buys back global consistency for the multi-shard operations:
+//
+//   - Range runs its fast path as one transaction walking every shard's
+//     segment, and its slow path by registering a range op with every
+//     shard's RQC in one transaction — either way the union of segments
+//     is a snapshot at a single commit instant, exactly as linearizable
+//     as the unsharded map's ranges.
+//   - Ceil/Floor/Succ/Pred probe all shards inside one read-only
+//     transaction and reduce.
+//   - Atomic bodies may span shards freely; the whole batch commits or
+//     rolls back together.
+//
+// With Config.IsolatedShards every shard instead gets a private runtime
+// — and a private clock, when Config.ClockFactory mints one per shard
+// (or Config.Clock is left nil, defaulting to private monotonic
+// clocks); counter-based clocks then stop sharing a commit-tick
+// cacheline. Point operations are unchanged, but cross-shard
+// timestamps become incomparable, so multi-shard operations weaken: Range and the
+// iterators merge per-shard snapshots taken at (closely spaced but)
+// distinct instants, point queries reduce over per-shard probes, and
+// Atomic is per-shard only — a transaction whose keys span two shards
+// fails with ErrCrossShard rather than silently losing atomicity.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// Pair is a key/value pair produced by range queries.
+type Pair[K comparable, V any] = core.Pair[K, V]
+
+// maxShards bounds the partition count; beyond this the per-shard merge
+// and probe fan-out costs dominate any contention win.
+const maxShards = 256
+
+// Sharded is a concurrent ordered map hash-partitioned across S
+// independent skip hash shards. All methods are safe for concurrent
+// use; hot paths should go through per-goroutine Handles.
+type Sharded[K comparable, V any] struct {
+	less     func(a, b K) bool
+	hash     func(K) uint64
+	rt       *stm.Runtime // shared runtime; nil when isolated
+	shards   []*core.Map[K, V]
+	shift    uint // shard index = mix(hash(k)) >> shift
+	isolated bool
+
+	handlePool sync.Pool
+	mu         sync.Mutex
+	handles    []*Handle[K, V]
+}
+
+// normalizeShards clamps a requested shard count to a power of two in
+// [1, maxShards]; zero derives the smallest power of two covering
+// GOMAXPROCS.
+func normalizeShards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	return n
+}
+
+// perShardConfig derives each shard's core configuration: the bucket
+// budget (cfg.Buckets, or the core default) is split evenly so total
+// memory matches the unsharded map, and the shard-frontend fields are
+// cleared so each core.Map is an ordinary single map.
+func perShardConfig(cfg core.Config, shards int) core.Config {
+	total := cfg.Buckets
+	if total == 0 {
+		total = 131071
+	}
+	per := total / shards
+	if per < 127 {
+		per = 127
+	}
+	cfg.Buckets = per | 1 // odd, so weak hashes still spread over chains
+	cfg.Shards = 0
+	cfg.IsolatedShards = false
+	return cfg
+}
+
+// New creates a sharded skip hash ordered by less and hashed by hash.
+// cfg.Shards selects the partition count (0 derives a power of two from
+// GOMAXPROCS) and cfg.Buckets the total hash-table budget across
+// shards; the remaining fields configure each shard as in core.New.
+// hash must mix its input well: the top bits pick the shard (after one
+// extra multiplicative mix) and the low bits the bucket chain.
+func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg core.Config) *Sharded[K, V] {
+	n := normalizeShards(cfg.Shards)
+	s := &Sharded[K, V]{
+		less:     less,
+		hash:     hash,
+		shards:   make([]*core.Map[K, V], n),
+		shift:    uint(64 - bits.TrailingZeros(uint(n))),
+		isolated: cfg.IsolatedShards,
+	}
+	per := perShardConfig(cfg, n)
+	if s.isolated {
+		// Private runtime per shard, and a private clock when the
+		// caller leaves cfg.Clock nil: core.New mints one through
+		// cfg.ClockFactory (or defaults to a private monotonic clock).
+		// A non-nil cfg.Clock instance is shared by every shard —
+		// counter clocks then still tick one cacheline, so prefer the
+		// factory for per-shard gv1/gv5.
+		for i := range s.shards {
+			s.shards[i] = core.New[K, V](less, hash, per)
+		}
+	} else {
+		clock := cfg.Clock
+		if clock == nil && cfg.ClockFactory != nil {
+			clock = cfg.ClockFactory()
+		}
+		s.rt = stm.New(stm.WithClock(clock))
+		for i := range s.shards {
+			s.shards[i] = core.NewIn[K, V](s.rt, less, hash, per)
+		}
+	}
+	s.handlePool.New = func() any { return s.NewHandle() }
+	return s
+}
+
+// shardOf maps a key to its shard. An extra multiplicative mix protects
+// against user hashes with weak high bits; the shard count is a power
+// of two, so the top bits select uniformly.
+func (s *Sharded[K, V]) shardOf(k K) int {
+	return int((s.hash(k) * 0x9e3779b97f4a7c15) >> s.shift)
+}
+
+// NumShards returns the partition count.
+func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
+
+// Isolated reports whether shards run on private STM runtimes.
+func (s *Sharded[K, V]) Isolated() bool { return s.isolated }
+
+// Shard exposes one partition (for stats and tests).
+func (s *Sharded[K, V]) Shard(i int) *core.Map[K, V] { return s.shards[i] }
+
+// Runtime returns the shared STM runtime, or nil when shards are
+// isolated (then each Shard(i).Runtime() is private).
+func (s *Sharded[K, V]) Runtime() *stm.Runtime { return s.rt }
+
+// STMStats aggregates transaction counters across every runtime backing
+// the map (one shared runtime, or one per shard when isolated).
+func (s *Sharded[K, V]) STMStats() stm.Stats {
+	if !s.isolated {
+		return s.rt.Stats()
+	}
+	var agg stm.Stats
+	for _, m := range s.shards {
+		st := m.Runtime().Stats()
+		agg.Commits += st.Commits
+		agg.ReadOnlyCommits += st.ReadOnlyCommits
+		agg.Aborts += st.Aborts
+		agg.UserErrors += st.UserErrors
+	}
+	return agg
+}
+
+// RangeStats aggregates range-path counters: the shard-level fast/slow
+// counters of this map's handles (cross-shard ranges in shared mode)
+// plus each shard's own counters (per-shard ranges in isolated mode).
+func (s *Sharded[K, V]) RangeStats() core.RangeStats {
+	s.mu.Lock()
+	handles := make([]*Handle[K, V], len(s.handles))
+	copy(handles, s.handles)
+	s.mu.Unlock()
+	var agg core.RangeStats
+	for _, h := range handles {
+		agg.FastAttempts += h.stats.RangeFastAttempts.Load()
+		agg.FastAborts += h.stats.RangeFastAborts.Load()
+		agg.FastCommits += h.stats.RangeFastCommits.Load()
+		agg.SlowCommits += h.stats.RangeSlowCommits.Load()
+	}
+	for _, m := range s.shards {
+		st := m.RangeStats()
+		agg.FastAttempts += st.FastAttempts
+		agg.FastAborts += st.FastAborts
+		agg.FastCommits += st.FastCommits
+		agg.SlowCommits += st.SlowCommits
+	}
+	return agg
+}
+
+// Quiesce flushes every handle's removal buffers on every shard. The
+// caller must ensure no operations are in flight.
+func (s *Sharded[K, V]) Quiesce() {
+	for _, m := range s.shards {
+		m.Quiesce()
+	}
+}
+
+// CheckInvariants audits every shard's composition invariants plus the
+// partition invariant (every key lives in the shard its hash selects).
+// The map must be quiescent.
+func (s *Sharded[K, V]) CheckInvariants(opts core.CheckOptions) error {
+	for i, m := range s.shards {
+		if err := m.CheckInvariants(opts); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for k := range m.All() {
+			if home := s.shardOf(k); home != i {
+				return fmt.Errorf("shard %d: key %v belongs to shard %d", i, k, home)
+			}
+		}
+	}
+	return nil
+}
+
+// SizeSlow counts logically present pairs without transactional
+// protection; the map must be quiescent.
+func (s *Sharded[K, V]) SizeSlow() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.SizeSlow()
+	}
+	return n
+}
+
+// Convenience methods on Sharded borrow a pooled handle, mirroring
+// core.Map's ergonomic entry points.
+
+func (s *Sharded[K, V]) borrow() *Handle[K, V] { return s.handlePool.Get().(*Handle[K, V]) }
+
+// Lookup returns the value associated with k.
+func (s *Sharded[K, V]) Lookup(k K) (V, bool) {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Lookup(k)
+}
+
+// Contains reports whether k is present.
+func (s *Sharded[K, V]) Contains(k K) bool {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Contains(k)
+}
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (s *Sharded[K, V]) Insert(k K, v V) bool {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Insert(k, v)
+}
+
+// Remove deletes k and reports whether it was present.
+func (s *Sharded[K, V]) Remove(k K) bool {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Remove(k)
+}
+
+// Put sets k to v unconditionally, reporting whether a previous value
+// was replaced.
+func (s *Sharded[K, V]) Put(k K, v V) bool {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Put(k, v)
+}
+
+// Ceil returns the smallest key >= k and its value.
+func (s *Sharded[K, V]) Ceil(k K) (K, V, bool) {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Ceil(k)
+}
+
+// Succ returns the smallest key > k and its value.
+func (s *Sharded[K, V]) Succ(k K) (K, V, bool) {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Succ(k)
+}
+
+// Floor returns the largest key <= k and its value.
+func (s *Sharded[K, V]) Floor(k K) (K, V, bool) {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Floor(k)
+}
+
+// Pred returns the largest key < k and its value.
+func (s *Sharded[K, V]) Pred(k K) (K, V, bool) {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Pred(k)
+}
+
+// Range collects [l, r] into out; see Handle.Range.
+func (s *Sharded[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Range(l, r, out)
+}
+
+// Atomic runs fn as one transactional batch using a pooled handle; see
+// Handle.Atomic for the cross-shard contract.
+func (s *Sharded[K, V]) Atomic(fn func(op *Txn[K, V]) error) error {
+	h := s.borrow()
+	defer s.handlePool.Put(h)
+	return h.Atomic(fn)
+}

@@ -1,0 +1,396 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/maptest"
+	"repro/internal/shard"
+	"repro/internal/stm"
+	"repro/internal/thashmap"
+)
+
+func newInt64(cfg core.Config) *shard.Sharded[int64, int64] {
+	return shard.New[int64, int64](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg)
+}
+
+// adapter exposes a sharded map through the shared conformance
+// interface.
+type adapter struct {
+	s *shard.Sharded[int64, int64]
+}
+
+func (a adapter) Lookup(k int64) (int64, bool) { return a.s.Lookup(k) }
+func (a adapter) Insert(k, v int64) bool       { return a.s.Insert(k, v) }
+func (a adapter) Remove(k int64) bool          { return a.s.Remove(k) }
+
+func (a adapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	for _, p := range a.s.Range(l, r, nil) {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+func (a adapter) Ceil(k int64) (int64, int64, bool)  { return a.s.Ceil(k) }
+func (a adapter) Floor(k int64) (int64, int64, bool) { return a.s.Floor(k) }
+func (a adapter) Succ(k int64) (int64, int64, bool)  { return a.s.Succ(k) }
+func (a adapter) Pred(k int64) (int64, int64, bool)  { return a.s.Pred(k) }
+
+func (a adapter) CheckQuiescent() error {
+	a.s.Quiesce()
+	return a.s.CheckInvariants(core.CheckOptions{})
+}
+
+func factory(cfg core.Config) maptest.Factory {
+	return func() maptest.OrderedMap {
+		cfg := cfg
+		cfg.Buckets = 4096 // split across shards by the constructor
+		return adapter{s: newInt64(cfg)}
+	}
+}
+
+// TestConformance runs the full suite — including ordered iteration,
+// range-query snapshot sanity, and the range-population linearizability
+// bound under concurrent removes — at several shard counts.
+func TestConformance(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			maptest.RunAll(t, factory(core.Config{Shards: shards}))
+		})
+	}
+}
+
+// TestConformanceIsolated exercises isolated-runtime shards. Cross-shard
+// range queries merge per-shard snapshots taken at distinct instants, so
+// the single-instant population bound of RunRangeCountBound does not
+// apply; every other component of the suite does.
+func TestConformanceIsolated(t *testing.T) {
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			f := factory(core.Config{Shards: shards, IsolatedShards: true})
+			t.Run("Sequential", func(t *testing.T) { maptest.RunSequential(t, f) })
+			t.Run("Model", func(t *testing.T) { maptest.RunModel(t, f) })
+			t.Run("PointQueryModel", func(t *testing.T) { maptest.RunPointQueryModel(t, f) })
+			t.Run("ConcurrentDisjoint", func(t *testing.T) { maptest.RunConcurrentDisjoint(t, f) })
+			t.Run("ConcurrentContended", func(t *testing.T) { maptest.RunConcurrentContended(t, f) })
+			t.Run("RangeSanity", func(t *testing.T) { maptest.RunRangeSanity(t, f) })
+		})
+	}
+}
+
+// TestRangeLinearizableUnderRemoves is a sharper edition of the
+// conformance suite's count bound, aimed specifically at cross-shard
+// ranges racing removals: every remove is immediately re-inserted, so
+// any full-universe range must see at least universe-writers keys; a
+// merge of inconsistent per-shard snapshots would routinely see fewer.
+func TestRangeLinearizableUnderRemoves(t *testing.T) {
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := newInt64(core.Config{Shards: shards, Buckets: 4096})
+			const writers = 4
+			const stripe = 64
+			const universe = writers * stripe
+			for k := int64(0); k < universe; k++ {
+				s.Insert(k, k)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(base int64, seed uint64) {
+					defer wg.Done()
+					h := s.NewHandle()
+					rng := rand.New(rand.NewPCG(seed, seed^0x77))
+					for i := 0; i < 3000; i++ {
+						k := base + int64(rng.Uint64()%stripe)
+						if h.Remove(k) {
+							h.Insert(k, k)
+						}
+					}
+				}(int64(g)*stripe, uint64(g)+3)
+			}
+			var readerWG sync.WaitGroup
+			for g := 0; g < 2; g++ {
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					h := s.NewHandle()
+					var buf []shard.Pair[int64, int64]
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						buf = h.Range(0, universe, buf[:0])
+						if len(buf) < universe-writers || len(buf) > universe {
+							t.Errorf("range population %d outside [%d, %d]",
+								len(buf), universe-writers, universe)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			readerWG.Wait()
+			s.Quiesce()
+			if err := s.CheckInvariants(core.CheckOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAtomicCrossShardShared verifies that shared-runtime batches span
+// shards atomically: a transfer between keys in different shards is
+// either fully visible or not at all.
+func TestAtomicCrossShardShared(t *testing.T) {
+	s := newInt64(core.Config{Shards: 8, Buckets: 4096})
+	// Find two keys living in different shards.
+	a, b := int64(0), int64(-1)
+	for k := int64(1); k < 1024; k++ {
+		if s.Shard(0) != nil && shardOf(s, k) != shardOf(s, a) {
+			b = k
+			break
+		}
+	}
+	if b < 0 {
+		t.Fatal("no cross-shard key pair found")
+	}
+	s.Insert(a, 100)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = s.Atomic(func(op *shard.Txn[int64, int64]) error {
+				if v, ok := op.Lookup(a); ok {
+					op.Remove(a)
+					op.Insert(b, v)
+				} else if v, ok := op.Lookup(b); ok {
+					op.Remove(b)
+					op.Insert(a, v)
+				}
+				return nil
+			})
+		}
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			va, oka := s.Lookup(a)
+			vb, okb := s.Lookup(b)
+			if oka == okb || (oka && va != 100) || (okb && vb != 100) {
+				t.Fatalf("final state a=(%d,%v) b=(%d,%v)", va, oka, vb, okb)
+			}
+			return
+		default:
+		}
+		var seen int
+		_ = s.Atomic(func(op *shard.Txn[int64, int64]) error {
+			seen = 0
+			if _, ok := op.Lookup(a); ok {
+				seen++
+			}
+			if _, ok := op.Lookup(b); ok {
+				seen++
+			}
+			return nil
+		})
+		if seen != 1 {
+			t.Fatalf("observed %d of {a, b}; cross-shard batch not atomic", seen)
+		}
+	}
+}
+
+// shardOf recovers a key's shard through the public surface: insert it
+// (transiently, if it was absent) and find which shard reports it.
+func shardOf(s *shard.Sharded[int64, int64], k int64) int {
+	if s.Insert(k, k) {
+		defer s.Remove(k)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if _, ok := s.Shard(i).Lookup(k); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAtomicIsolated verifies the pinning discipline: same-shard batches
+// keep transactional semantics, cross-shard batches fail with
+// ErrCrossShard and leave the map unchanged.
+func TestAtomicIsolated(t *testing.T) {
+	s := newInt64(core.Config{Shards: 8, IsolatedShards: true, Buckets: 4096})
+	// Single-key batches always work.
+	if err := s.Atomic(func(op *shard.Txn[int64, int64]) error {
+		op.Insert(7, 70)
+		if v, ok := op.Lookup(7); !ok || v != 70 {
+			t.Errorf("Lookup inside txn = %d,%v", v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("single-key Atomic: %v", err)
+	}
+	if v, ok := s.Lookup(7); !ok || v != 70 {
+		t.Fatalf("Lookup(7) = %d,%v after batch", v, ok)
+	}
+	// A batch that crosses shards reports ErrCrossShard and rolls back.
+	a := int64(7)
+	b := int64(-1)
+	for k := int64(8); k < 1024; k++ {
+		if shardOf(s, k) != shardOf(s, a) {
+			b = k
+			break
+		}
+	}
+	if b < 0 {
+		t.Fatal("no cross-shard key pair found")
+	}
+	err := s.Atomic(func(op *shard.Txn[int64, int64]) error {
+		op.Remove(a)
+		op.Insert(b, 70)
+		return nil
+	})
+	if !errors.Is(err, shard.ErrCrossShard) {
+		t.Fatalf("cross-shard Atomic error = %v, want ErrCrossShard", err)
+	}
+	if _, ok := s.Lookup(b); ok {
+		t.Error("cross-shard batch leaked a partial insert")
+	}
+	if v, ok := s.Lookup(a); !ok || v != 70 {
+		t.Errorf("cross-shard batch removed a despite rollback: %d,%v", v, ok)
+	}
+	// Multi-shard probes (ranges, point queries) fail the same way.
+	err = s.Atomic(func(op *shard.Txn[int64, int64]) error {
+		op.Range(0, 100, nil)
+		return nil
+	})
+	if !errors.Is(err, shard.ErrCrossShard) {
+		t.Fatalf("txn Range error = %v, want ErrCrossShard", err)
+	}
+	// An empty batch is a no-op.
+	if err := s.Atomic(func(op *shard.Txn[int64, int64]) error { return nil }); err != nil {
+		t.Fatalf("empty Atomic: %v", err)
+	}
+}
+
+// TestIterators checks the merged ascending/descending iterators and
+// their bounded variants against a sorted model.
+func TestIterators(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := newInt64(core.Config{Shards: shards, Buckets: 1024})
+			const n = 500
+			for k := int64(0); k < n; k++ {
+				s.Insert(k*3, k*3+1)
+			}
+			want := int64(0)
+			for k, v := range s.All() {
+				if k != want*3 || v != want*3+1 {
+					t.Fatalf("All: got (%d,%d), want (%d,%d)", k, v, want*3, want*3+1)
+				}
+				want++
+			}
+			if want != n {
+				t.Fatalf("All visited %d pairs, want %d", want, n)
+			}
+			want = n - 1
+			for k := range s.Backward() {
+				if k != want*3 {
+					t.Fatalf("Backward: got %d, want %d", k, want*3)
+				}
+				want--
+			}
+			var got []int64
+			s.AscendFrom(100, func(k, v int64) bool {
+				got = append(got, k)
+				return len(got) < 5
+			})
+			if len(got) != 5 || got[0] != 102 || got[4] != 114 {
+				t.Fatalf("AscendFrom(100) head = %v", got)
+			}
+			got = got[:0]
+			s.DescendFrom(100, func(k, v int64) bool {
+				got = append(got, k)
+				return len(got) < 5
+			})
+			if len(got) != 5 || got[0] != 99 || got[4] != 87 {
+				t.Fatalf("DescendFrom(100) head = %v", got)
+			}
+		})
+	}
+}
+
+// TestIsolatedClockFactory verifies that isolated shards mint one
+// private clock each through Config.ClockFactory, so counter clocks
+// stop sharing a commit-tick cacheline.
+func TestIsolatedClockFactory(t *testing.T) {
+	made := 0
+	s := newInt64(core.Config{
+		Shards: 4, IsolatedShards: true, Buckets: 1024,
+		ClockFactory: func() stm.Clock { made++; return stm.NewGV1() },
+	})
+	if made != s.NumShards() {
+		t.Fatalf("factory minted %d clocks for %d shards", made, s.NumShards())
+	}
+	seen := make(map[stm.Clock]bool)
+	for i := 0; i < s.NumShards(); i++ {
+		seen[s.Shard(i).Runtime().Clock()] = true
+	}
+	if len(seen) != s.NumShards() {
+		t.Fatalf("shards share clock instances: %d distinct of %d", len(seen), s.NumShards())
+	}
+	for k := int64(0); k < 256; k++ {
+		if !s.Insert(k, k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if got := len(s.Range(0, 256, nil)); got != 256 {
+		t.Fatalf("Range found %d of 256 keys", got)
+	}
+}
+
+// TestShardCountDefaults pins the shard-count normalization rules.
+func TestShardCountDefaults(t *testing.T) {
+	if got := newInt64(core.Config{Shards: 3, Buckets: 1024}).NumShards(); got != 4 {
+		t.Errorf("Shards:3 normalized to %d, want 4", got)
+	}
+	if got := newInt64(core.Config{Shards: 8, Buckets: 1024}).NumShards(); got != 8 {
+		t.Errorf("Shards:8 normalized to %d, want 8", got)
+	}
+	s := newInt64(core.Config{Buckets: 1024})
+	if n := s.NumShards(); n < 1 || n&(n-1) != 0 {
+		t.Errorf("default shard count %d is not a positive power of two", n)
+	}
+}
+
+// TestShardPlacement fills the map and relies on CheckInvariants'
+// partition audit to verify keys land in their hash-selected shard, and
+// that population spreads across shards at all.
+func TestShardPlacement(t *testing.T) {
+	s := newInt64(core.Config{Shards: 8, Buckets: 4096})
+	for k := int64(0); k < 4096; k++ {
+		s.Insert(k, k)
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(core.CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if n := s.Shard(i).SizeSlow(); n < 4096/8/4 {
+			t.Errorf("shard %d holds %d of 4096 keys: poor spread", i, n)
+		}
+	}
+	if got := s.SizeSlow(); got != 4096 {
+		t.Errorf("SizeSlow = %d, want 4096", got)
+	}
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// ErrCrossShard is returned by Atomic when shards are isolated and the
+// transaction's operations span more than one shard (or need all shards
+// at once, as Range and the point queries do). Isolated shards live in
+// incomparable STM timestamp domains, so such a batch cannot commit
+// atomically; the error makes the limitation explicit instead of
+// silently downgrading to per-shard atomicity.
+var ErrCrossShard = errors.New("shard: transaction spans multiple isolated shards")
+
+// Txn is the transactional view of a Sharded map inside Atomic. In
+// shared mode operations may touch any shard and the whole batch
+// commits or rolls back together. In isolated mode the transaction is
+// pinned to the shard of the first key it touches; an operation on any
+// other shard aborts the batch with ErrCrossShard.
+//
+// A Txn is only valid inside the closure it was handed to.
+type Txn[K comparable, V any] struct {
+	h *Handle[K, V]
+
+	// Shared mode: the enclosing transaction plus lazily bound
+	// per-shard views.
+	tx    *stm.Tx
+	bound []*core.Txn[K, V]
+
+	// Isolated mode: the pinned shard's view ...
+	pinned int
+	core   *core.Txn[K, V]
+	// ... or, before pinning, the routing probe that discovers which
+	// shard the first operation needs.
+	probe bool
+}
+
+// probeDone aborts the routing probe once the first operation's shard
+// is known.
+type probeDone struct{ shard int }
+
+// crossShard aborts a pinned (or probing) transaction that needs a
+// shard other than its own.
+type crossShard struct{}
+
+// route returns the core view for k's shard, enforcing the pinning
+// discipline in isolated mode.
+func (t *Txn[K, V]) route(k K) *core.Txn[K, V] {
+	i := t.h.s.shardOf(k)
+	if t.probe {
+		panic(probeDone{shard: i})
+	}
+	if t.core != nil {
+		if i != t.pinned {
+			panic(crossShard{})
+		}
+		return t.core
+	}
+	if t.bound[i] == nil {
+		t.bound[i] = t.h.hs[i].Bind(t.tx)
+	}
+	return t.bound[i]
+}
+
+// all returns every shard's bound view; only shared mode (or a
+// single-shard map) can satisfy it.
+func (t *Txn[K, V]) all() []*core.Txn[K, V] {
+	if t.probe {
+		if len(t.h.hs) == 1 {
+			panic(probeDone{shard: 0})
+		}
+		panic(crossShard{})
+	}
+	if t.core != nil {
+		if len(t.h.hs) == 1 {
+			return []*core.Txn[K, V]{t.core}
+		}
+		panic(crossShard{})
+	}
+	for i := range t.bound {
+		if t.bound[i] == nil {
+			t.bound[i] = t.h.hs[i].Bind(t.tx)
+		}
+	}
+	return t.bound
+}
+
+// Lookup returns the value associated with k.
+func (t *Txn[K, V]) Lookup(k K) (V, bool) { return t.route(k).Lookup(k) }
+
+// Contains reports whether k is present.
+func (t *Txn[K, V]) Contains(k K) bool { return t.route(k).Contains(k) }
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (t *Txn[K, V]) Insert(k K, v V) bool { return t.route(k).Insert(k, v) }
+
+// Remove deletes k and reports whether it was present.
+func (t *Txn[K, V]) Remove(k K) bool { return t.route(k).Remove(k) }
+
+// Put sets k to v unconditionally, reporting whether a previous value
+// was replaced.
+func (t *Txn[K, V]) Put(k K, v V) bool { return t.route(k).Put(k, v) }
+
+// Ceil returns the smallest key >= k and its value. Requires shared
+// mode (or a single shard): the probe spans every shard.
+func (t *Txn[K, V]) Ceil(k K) (K, V, bool) {
+	return t.reduce(k, false, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Ceil(k) })
+}
+
+// Succ returns the smallest key > k and its value; see Ceil.
+func (t *Txn[K, V]) Succ(k K) (K, V, bool) {
+	return t.reduce(k, false, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Succ(k) })
+}
+
+// Floor returns the largest key <= k and its value; see Ceil.
+func (t *Txn[K, V]) Floor(k K) (K, V, bool) {
+	return t.reduce(k, true, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Floor(k) })
+}
+
+// Pred returns the largest key < k and its value; see Ceil.
+func (t *Txn[K, V]) Pred(k K) (K, V, bool) {
+	return t.reduce(k, true, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Pred(k) })
+}
+
+func (t *Txn[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K) (K, V, bool)) (K, V, bool) {
+	s := t.h.s
+	var bk K
+	var bv V
+	var bok bool
+	for _, op := range t.all() {
+		ck, cv, ok := q(op, k)
+		if !ok {
+			continue
+		}
+		if !bok || (wantMax && s.less(bk, ck)) || (!wantMax && s.less(ck, bk)) {
+			bk, bv, bok = ck, cv, true
+		}
+	}
+	return bk, bv, bok
+}
+
+// Range appends every pair with l <= key <= r, in key order, to out
+// within the transaction. Requires shared mode (or a single shard): the
+// collection spans every shard.
+func (t *Txn[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
+	h := t.h
+	for i, op := range t.all() {
+		h.segs[i] = op.Range(l, r, h.segs[i][:0])
+	}
+	return h.merge(out)
+}
+
+// Atomic runs fn as one transactional batch over the map.
+//
+// In shared mode (the default) the batch is a single STM transaction
+// that may span every shard: all operations commit or roll back
+// together, exactly as on the unsharded map.
+//
+// In isolated mode the batch is pinned to one shard. A routing pass
+// first discovers the shard of the first operation (fn may therefore
+// run one extra time; like the STM retry loop, it must tolerate
+// re-execution), then fn runs as a transaction on that shard alone.
+// Single-key batches — and any batch whose keys co-hash — keep full
+// transactional semantics; a batch that touches a second shard fails
+// with ErrCrossShard and leaves the map unchanged. Operations that need
+// all shards at once (Range, Ceil, Floor, Succ, Pred) fail the same way
+// unless the map has a single shard.
+func (h *Handle[K, V]) Atomic(fn func(op *Txn[K, V]) error) error {
+	s := h.s
+	if !s.isolated {
+		bound := make([]*core.Txn[K, V], len(h.hs))
+		return s.rt.Atomic(func(tx *stm.Tx) error {
+			clear(bound)
+			return fn(&Txn[K, V]{h: h, tx: tx, bound: bound})
+		})
+	}
+	pin, err, decided := h.probeShard(fn)
+	if !decided {
+		return err // fn performed no map operations, or crossed shards
+	}
+	return h.runPinned(pin, fn)
+}
+
+// probeShard runs fn against a routing probe. decided reports whether a
+// first operation pinned a shard; otherwise err carries fn's outcome
+// (its plain return when it performed no operations, or ErrCrossShard
+// when its first operation already needed every shard).
+func (h *Handle[K, V]) probeShard(fn func(op *Txn[K, V]) error) (pin int, err error, decided bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch pd := p.(type) {
+			case probeDone:
+				pin, decided = pd.shard, true
+				err = nil
+			case crossShard:
+				err = ErrCrossShard
+			default:
+				panic(p)
+			}
+		}
+	}()
+	return 0, fn(&Txn[K, V]{h: h, probe: true}), false
+}
+
+// runPinned executes fn as a transaction on the pinned shard,
+// converting a cross-shard abort into ErrCrossShard after the STM layer
+// has rolled the attempt back.
+func (h *Handle[K, V]) runPinned(pin int, fn func(op *Txn[K, V]) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(crossShard); ok {
+				err = ErrCrossShard
+				return
+			}
+			panic(p)
+		}
+	}()
+	return h.hs[pin].Atomic(func(op *core.Txn[K, V]) error {
+		return fn(&Txn[K, V]{h: h, pinned: pin, core: op})
+	})
+}

@@ -24,6 +24,13 @@ type Tx struct {
 	acquired []acqEntry
 	hooks    []func()
 
+	// acqIndex mirrors acquired as orec -> pre-acquire word once the
+	// acquire list outgrows acquireIndexThreshold, so commit-time
+	// read-set validation stays O(reads) instead of O(reads*acquired)
+	// for transactions with large write sets. nil until first needed;
+	// retained (emptied) across the descriptor's reuses.
+	acqIndex map[*Orec]orecWord
+
 	attempts int
 	rng      uint64
 
@@ -55,6 +62,13 @@ type txStats struct {
 // the global counter is touched ~never instead of per attempt.
 const idBlock = 1 << 20
 
+// acquireIndexThreshold is the acquire-list length beyond which a
+// descriptor maintains acqIndex. Small transactions — the skip hash's
+// common case — keep the branch-free linear scan over a few entries;
+// large write sets (batch Atomic bodies, long unstitch chains) switch
+// to the map before validation turns quadratic.
+const acquireIndexThreshold = 32
+
 // begin (re)initializes the descriptor for a fresh attempt.
 func (tx *Tx) begin() {
 	tx.id++
@@ -68,6 +82,9 @@ func (tx *Tx) begin() {
 	tx.undo = tx.undo[:0]
 	tx.acquired = tx.acquired[:0]
 	tx.hooks = tx.hooks[:0]
+	if len(tx.acqIndex) > 0 {
+		clear(tx.acqIndex)
+	}
 	tx.active = true
 }
 
@@ -140,6 +157,16 @@ func (tx *Tx) acquire(o *Orec) {
 		tx.conflict()
 	}
 	tx.acquired = append(tx.acquired, acqEntry{orec: o, prev: w})
+	if len(tx.acqIndex) > 0 {
+		tx.acqIndex[o] = w
+	} else if len(tx.acquired) > acquireIndexThreshold {
+		if tx.acqIndex == nil {
+			tx.acqIndex = make(map[*Orec]orecWord, 2*acquireIndexThreshold)
+		}
+		for i := range tx.acquired {
+			tx.acqIndex[tx.acquired[i].orec] = tx.acquired[i].prev
+		}
+	}
 }
 
 // Acquire takes write ownership of an orec without writing any field.
@@ -166,8 +193,13 @@ func (tx *Tx) OnCommit(fn func()) {
 
 // preAcquireWord returns the version word an orec held before this
 // transaction acquired it. ok is false if the orec is not in the acquire
-// list.
+// list. Above acquireIndexThreshold the lookup goes through acqIndex,
+// keeping commit-time validation of mixed read/write sets linear.
 func (tx *Tx) preAcquireWord(o *Orec) (orecWord, bool) {
+	if len(tx.acqIndex) > 0 {
+		w, ok := tx.acqIndex[o]
+		return w, ok
+	}
 	for i := range tx.acquired {
 		if tx.acquired[i].orec == o {
 			return tx.acquired[i].prev, true

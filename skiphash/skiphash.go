@@ -40,10 +40,33 @@
 //	    op.Insert(2, 20) // observers see both or neither
 //	    return nil
 //	})
+//
+// # Sharding
+//
+// For machines with many cores, NewSharded hash-partitions the map
+// across Config.Shards independent skip hashes (default: a power of two
+// derived from GOMAXPROCS), each a complete hash-index + skip list +
+// range-query coordinator, so point operations on different shards
+// share no cachelines. Ordered operations are k-way merged across
+// shards. By default all shards run on one STM runtime whose monotonic
+// commit clock writes no shared memory, which keeps ranges, point
+// queries and Atomic batches fully linearizable across shards:
+//
+//	m := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 16})
+//
+// Setting Config.IsolatedShards gives every shard a private STM runtime
+// and — via Config.ClockFactory, or by default — a private clock, so
+// counter-based clocks stop sharing a commit-tick cacheline (a non-nil
+// Config.Clock instance would still be shared by every shard). The
+// price is a weaker cross-shard contract: ranges and iterators merge per-shard snapshots taken at
+// distinct instants, and an Atomic batch must stay within one shard; a
+// batch whose keys span shards fails with ErrCrossShard rather than
+// silently losing atomicity.
 package skiphash
 
 import (
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/thashmap"
 )
 
@@ -91,3 +114,34 @@ func NewInt64[V any](cfg Config) *Map[int64, V] {
 // Hash64 is a strong mixer for integer keys, exported for callers
 // building custom key types on top of int64 identities.
 func Hash64(k int64) uint64 { return thashmap.Hash64(k) }
+
+// Sharded is a concurrent ordered map hash-partitioned across
+// Config.Shards independent skip hashes. See the package documentation
+// for the sharding and consistency model.
+type Sharded[K comparable, V any] = shard.Sharded[K, V]
+
+// ShardedHandle is a per-goroutine context over a Sharded map; create
+// one per worker with Sharded.NewHandle.
+type ShardedHandle[K comparable, V any] = shard.Handle[K, V]
+
+// ShardedTxn is the transactional view of a Sharded map inside its
+// Atomic. With the default shared runtime a batch may span shards; with
+// IsolatedShards it is pinned to the shard of its first key and fails
+// with ErrCrossShard if it strays.
+type ShardedTxn[K comparable, V any] = shard.Txn[K, V]
+
+// ErrCrossShard is returned by Sharded.Atomic on a map with
+// IsolatedShards when a batch's operations span more than one shard.
+var ErrCrossShard = shard.ErrCrossShard
+
+// NewSharded creates a sharded skip hash for any key type: less
+// supplies the ordering, hash the distribution over shards (top bits)
+// and buckets (low bits), cfg.Shards the partition count.
+func NewSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config) *Sharded[K, V] {
+	return shard.New[K, V](less, hash, cfg)
+}
+
+// NewInt64Sharded creates a sharded skip hash with int64 keys.
+func NewInt64Sharded[V any](cfg Config) *Sharded[int64, V] {
+	return shard.New[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg)
+}

@@ -125,6 +125,62 @@ func TestAdaptiveRangeConfig(t *testing.T) {
 	maptest.RunAll(t, factory(skiphash.Config{Adaptive: true, AdaptiveSkip: 4}))
 }
 
+// shardedAdapter exposes a sharded skip hash through the conformance
+// interface.
+type shardedAdapter struct {
+	s *skiphash.Sharded[int64, int64]
+}
+
+func (a shardedAdapter) Lookup(k int64) (int64, bool) { return a.s.Lookup(k) }
+func (a shardedAdapter) Insert(k, v int64) bool       { return a.s.Insert(k, v) }
+func (a shardedAdapter) Remove(k int64) bool          { return a.s.Remove(k) }
+
+func (a shardedAdapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	for _, p := range a.s.Range(l, r, nil) {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+func (a shardedAdapter) Ceil(k int64) (int64, int64, bool)  { return a.s.Ceil(k) }
+func (a shardedAdapter) Floor(k int64) (int64, int64, bool) { return a.s.Floor(k) }
+func (a shardedAdapter) Succ(k int64) (int64, int64, bool)  { return a.s.Succ(k) }
+func (a shardedAdapter) Pred(k int64) (int64, int64, bool)  { return a.s.Pred(k) }
+
+func (a shardedAdapter) CheckQuiescent() error {
+	a.s.Quiesce()
+	return a.s.CheckInvariants(skiphash.CheckOptions{})
+}
+
+func TestConformanceSharded(t *testing.T) {
+	maptest.RunAll(t, func() maptest.OrderedMap {
+		return shardedAdapter{s: skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 4, Buckets: 4096})}
+	})
+}
+
+func ExampleNewInt64Sharded() {
+	m := skiphash.NewInt64Sharded[string](skiphash.Config{Shards: 4, Buckets: 1024})
+	m.Insert(3, "three")
+	m.Insert(1, "one")
+	m.Insert(2, "two")
+	// Ranges merge the shards back into key order.
+	for _, p := range m.Range(1, 3, nil) {
+		fmt.Println(p.Key, p.Val)
+	}
+	// Batches span shards atomically on the default shared runtime.
+	_ = m.Atomic(func(op *skiphash.ShardedTxn[int64, string]) error {
+		op.Remove(1)
+		op.Insert(4, "four")
+		return nil
+	})
+	fmt.Println(m.Contains(1))
+	// Output:
+	// 1 one
+	// 2 two
+	// 3 three
+	// false
+}
+
 func ExampleMap_Atomic() {
 	m := skiphash.NewInt64[int64](skiphash.Config{Buckets: 101})
 	m.Insert(1, 100)
