@@ -19,6 +19,9 @@
 //	-csv file     append machine-readable rows to file
 //	-json file    write per-workload throughput/abort-rate rows as JSON
 //	-quick        smoke-test mode (200ms trials, 2^16 universe)
+//	-seed n       base seed for prefill and worker RNG streams (default 0,
+//	              the historical streams); a fixed seed makes prefill and
+//	              workload key sequences reproducible across runs
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 		csvPath  = fs.String("csv", "", "append CSV rows to this file")
 		jsonPath = fs.String("json", "", "write JSON rows to this file")
 		quick    = fs.Bool("quick", false, "smoke-test mode")
+		seed     = fs.Uint64("seed", 0, "base seed for prefill and worker RNG streams")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -57,6 +61,7 @@ func main() {
 		Duration: *duration,
 		Trials:   *trials,
 		Universe: *universe,
+		Seed:     *seed,
 	}
 	if *quick {
 		opts.Duration = 200 * time.Millisecond

@@ -5,9 +5,19 @@
 // It is the repository's long-running confidence tool; CI runs the same
 // checks in miniature through the test suite.
 //
+// With -check it instead records invoke/return histories of a seeded
+// workload in rounds and verifies each round online against the
+// sequential ordered-map model with the internal/linearize checker,
+// exiting nonzero with the offending partition and a reproducer seed on
+// any violation.
+//
+// All randomness derives from -seed, so any reported failure can be
+// replayed by re-running with the printed flags.
+//
 // Usage:
 //
-//	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow] [-shards n]
+//	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
+//	           [-shards n] [-isolated] [-seed n] [-check]
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/linearize"
+	"repro/internal/maptest"
 	"repro/skiphash"
 )
 
@@ -41,6 +53,10 @@ type stressHandle interface {
 	Range(l, r int64, out []skiphash.Pair[int64, int64]) []skiphash.Pair[int64, int64]
 }
 
+// maxFailurePrints caps per-failure output so a systemic bug cannot
+// drown the summary (and the reproducer line) in millions of lines.
+const maxFailurePrints = 20
+
 func main() {
 	var (
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
@@ -50,6 +66,8 @@ func main() {
 		rangeLen = flag.Int64("rangelen", 128, "range query length")
 		shards   = flag.Int("shards", 0, "shard count (0 = unsharded; -1 = GOMAXPROCS-derived)")
 		isolated = flag.Bool("isolated", false, "per-shard STM runtimes (with -shards)")
+		seed     = flag.Uint64("seed", 1, "seed for all workload randomness")
+		check    = flag.Bool("check", false, "record histories and verify linearizability online")
 	)
 	flag.Parse()
 
@@ -66,6 +84,7 @@ func main() {
 	}
 	var m stressMap
 	var newHandle func() stressHandle
+	var checkable maptest.OrderedMap
 	variant := "unsharded"
 	if *shards != 0 {
 		if *shards > 0 {
@@ -75,6 +94,7 @@ func main() {
 		sm := skiphash.NewInt64Sharded[int64](cfg)
 		m = sm
 		newHandle = func() stressHandle { return sm.NewHandle() }
+		checkable = shardedCheckAdapter{sm}
 		variant = fmt.Sprintf("%d shards", sm.NumShards())
 		if *isolated {
 			variant += " (isolated)"
@@ -83,10 +103,21 @@ func main() {
 		um := skiphash.NewInt64[int64](cfg)
 		m = um
 		newHandle = func() stressHandle { return um.NewHandle() }
+		checkable = checkAdapter{um}
 	}
 
-	fmt.Printf("skipstress: %d threads, %v, universe %d, mode %s, %s\n",
-		*threads, *duration, *universe, *mode, variant)
+	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s",
+		*seed, *threads, *duration, *universe, *mode, *rangeLen, *shards,
+		map[bool]string{true: " -isolated"}[*isolated],
+		map[bool]string{true: " -check"}[*check])
+
+	if *check {
+		runCheck(checkable, m, *threads, *duration, *seed, *isolated, variant, reproducer)
+		return
+	}
+
+	fmt.Printf("skipstress: %d threads, %v, universe %d, mode %s, seed %d, %s\n",
+		*threads, *duration, *universe, *mode, *seed, variant)
 
 	perKey := make([]atomic.Int64, *universe)
 	var ops, ranges, failures atomic.Uint64
@@ -94,10 +125,10 @@ func main() {
 	var wg sync.WaitGroup
 	for t := 0; t < *threads; t++ {
 		wg.Add(1)
-		go func(seed uint64) {
+		go func(worker uint64) {
 			defer wg.Done()
 			h := newHandle()
-			rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+			rng := rand.New(rand.NewPCG(*seed, worker^0x5eed))
 			var buf []skiphash.Pair[int64, int64]
 			for {
 				select {
@@ -118,17 +149,19 @@ func main() {
 						}
 					case 6:
 						if v, ok := h.Lookup(k); ok && v != k {
-							fmt.Fprintf(os.Stderr, "FAIL: Lookup(%d) = %d\n", k, v)
-							failures.Add(1)
+							if failures.Add(1) <= maxFailurePrints {
+								fmt.Fprintf(os.Stderr, "FAIL: Lookup(%d) = %d\n", k, v)
+							}
 						}
 					case 7:
 						buf = h.Range(k, k+*rangeLen, buf[:0])
 						last := int64(-1)
 						for _, p := range buf {
 							if p.Key < k || p.Key > k+*rangeLen || p.Key <= last || p.Val != p.Key {
-								fmt.Fprintf(os.Stderr, "FAIL: bad range pair %+v in [%d,%d]\n",
-									p, k, k+*rangeLen)
-								failures.Add(1)
+								if failures.Add(1) <= maxFailurePrints {
+									fmt.Fprintf(os.Stderr, "FAIL: bad range pair %+v in [%d,%d]\n",
+										p, k, k+*rangeLen)
+								}
 								break
 							}
 							last = p.Key
@@ -155,7 +188,7 @@ func main() {
 			want = 1
 		}
 		if balance != want {
-			if bad < 10 {
+			if bad < maxFailurePrints {
 				fmt.Fprintf(os.Stderr, "FAIL: key %d balance %d present %v\n", k, balance, present)
 			}
 			bad++
@@ -171,7 +204,114 @@ func main() {
 	if bad > 0 || failures.Load() > 0 {
 		fmt.Fprintf(os.Stderr, "skipstress: FAILED (%d balance errors, %d online failures)\n",
 			bad, failures.Load())
+		fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
 		os.Exit(1)
 	}
 	fmt.Println("skipstress: PASS")
+}
+
+// runCheck records seeded workload rounds and verifies each round's
+// history online. The map stays hot across rounds: each round's check
+// starts from a quiescent snapshot of the previous round's final state.
+func runCheck(cm maptest.OrderedMap, m stressMap, threads int, duration time.Duration,
+	seed uint64, isolated bool, variant, reproducer string) {
+	const checkUniverse = 64
+	fmt.Printf("skipstress: -check, %d threads, %v, universe %d, seed %d, %s\n",
+		threads, duration, checkUniverse, seed, variant)
+
+	deadline := time.Now().Add(duration)
+	rounds, totalOps, unknowns := 0, 0, 0
+	var snapshot []linearize.KV
+	for time.Now().Before(deadline) {
+		roundSeed := seed + uint64(rounds)*1_000_003
+		opts := maptest.WorkloadOptions{
+			Clients:      threads,
+			OpsPerClient: 192,
+			Universe:     checkUniverse,
+			Seed:         roundSeed,
+			Ranges:       !isolated,
+			PointQueries: !isolated,
+			Batches:      true,
+		}
+		h := maptest.RecordHistory(cm, opts)
+		res := linearize.CheckOpts(h, linearize.Options{Initial: snapshot})
+		totalOps += len(h)
+		if res.Unknown {
+			unknowns++
+		} else if !res.Ok {
+			fmt.Fprintf(os.Stderr, "FAIL: non-linearizable history in round %d (round seed %d), partition keys %v:\n%s",
+				rounds, roundSeed, res.PartitionKeys, linearize.FormatOps(res.Ops))
+			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+			os.Exit(1)
+		}
+		// Workers joined inside RecordHistory, so the map is quiescent:
+		// snapshot the state the next round starts from.
+		snapshot = cm.Range(0, checkUniverse, nil)
+		rounds++
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(skiphash.CheckOptions{}); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: invariants after %d rounds: %v\n", rounds, err)
+		fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+		os.Exit(1)
+	}
+	fmt.Printf("rounds=%d ops=%d unknown=%d\n", rounds, totalOps, unknowns)
+	fmt.Println("skipstress: PASS")
+}
+
+// checkAdapter exposes the unsharded map through the conformance
+// interface for -check.
+type checkAdapter struct {
+	m *skiphash.Map[int64, int64]
+}
+
+func (a checkAdapter) Lookup(k int64) (int64, bool) { return a.m.Lookup(k) }
+func (a checkAdapter) Insert(k, v int64) bool       { return a.m.Insert(k, v) }
+func (a checkAdapter) Remove(k int64) bool          { return a.m.Remove(k) }
+
+func (a checkAdapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	for _, p := range a.m.Range(l, r, nil) {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+func (a checkAdapter) Ceil(k int64) (int64, int64, bool)  { return a.m.Ceil(k) }
+func (a checkAdapter) Floor(k int64) (int64, int64, bool) { return a.m.Floor(k) }
+func (a checkAdapter) Succ(k int64) (int64, int64, bool)  { return a.m.Succ(k) }
+func (a checkAdapter) Pred(k int64) (int64, int64, bool)  { return a.m.Pred(k) }
+
+func (a checkAdapter) Batch(steps []linearize.Step) bool {
+	return a.m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
+		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
+		return nil
+	}) == nil
+}
+
+// shardedCheckAdapter is checkAdapter's sharded twin.
+type shardedCheckAdapter struct {
+	s *skiphash.Sharded[int64, int64]
+}
+
+func (a shardedCheckAdapter) Lookup(k int64) (int64, bool) { return a.s.Lookup(k) }
+func (a shardedCheckAdapter) Insert(k, v int64) bool       { return a.s.Insert(k, v) }
+func (a shardedCheckAdapter) Remove(k int64) bool          { return a.s.Remove(k) }
+
+func (a shardedCheckAdapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	for _, p := range a.s.Range(l, r, nil) {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+func (a shardedCheckAdapter) Ceil(k int64) (int64, int64, bool)  { return a.s.Ceil(k) }
+func (a shardedCheckAdapter) Floor(k int64) (int64, int64, bool) { return a.s.Floor(k) }
+func (a shardedCheckAdapter) Succ(k int64) (int64, int64, bool)  { return a.s.Succ(k) }
+func (a shardedCheckAdapter) Pred(k int64) (int64, int64, bool)  { return a.s.Pred(k) }
+
+func (a shardedCheckAdapter) Batch(steps []linearize.Step) bool {
+	return a.s.Atomic(func(op *skiphash.ShardedTxn[int64, int64]) error {
+		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
+		return nil
+	}) == nil
 }

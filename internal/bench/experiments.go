@@ -22,6 +22,11 @@ type Options struct {
 	// Report, when non-nil, collects structured rows (throughput,
 	// abort rates, range-path counters) for JSON output.
 	Report *Report
+	// Seed offsets every experiment's base seed, flowing into the
+	// worker RNG streams and the prefill permutation, so two runs with
+	// one seed measure identical key sequences (and different seeds
+	// vary them deliberately). Zero keeps the historical streams.
+	Seed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -107,7 +112,7 @@ func Fig5(w io.Writer, letter string, opts Options) error {
 				fmt.Fprintf(w, " %24s", "-")
 				continue
 			}
-			rc := RunConfig{Threads: threads, Duration: opts.Duration, Trials: opts.Trials, Seed: 7}
+			rc := RunConfig{Threads: threads, Duration: opts.Duration, Trials: opts.Trials, Seed: opts.Seed + 7}
 			Prefill(m, wl.Universe, rc.Seed+1)
 			stmBefore, rqBefore := subjectSnapshots(m) // post-prefill: counters cover the measured window only
 			res := RunTrials(m, wl, rc)
@@ -161,7 +166,7 @@ func Fig6(w io.Writer, opts Options) error {
 		table[mf.Name] = make(map[int64]cell, len(lengths))
 		for _, ln := range lengths {
 			m := mf.New()
-			rc := RunConfig{Duration: opts.Duration, Trials: opts.Trials, Seed: 13}
+			rc := RunConfig{Duration: opts.Duration, Trials: opts.Trials, Seed: opts.Seed + 13}
 			Prefill(m, opts.Universe, rc.Seed+1)
 			stmBefore, rqBefore := subjectSnapshots(m)
 			res := RunSplitTrials(m, half, half, ln, opts.Universe, rc)
@@ -224,7 +229,7 @@ func Table1(w io.Writer, opts Options) error {
 		m := NewSkipHash("fast", 0)
 		before := m.RangeStats()
 		RunSplit(m, half, half, ln, opts.Universe,
-			RunConfig{Duration: opts.Duration, Trials: opts.Trials, Seed: 29})
+			RunConfig{Duration: opts.Duration, Trials: opts.Trials, Seed: opts.Seed + 29})
 		s := m.RangeStats().Sub(before)
 		rate := "inf"
 		if s.FastCommits > 0 {
@@ -286,7 +291,7 @@ func Shards(w io.Writer, opts Options) error {
 	for _, wl := range ShardWorkloads {
 		wl.Universe = opts.Universe
 		run := func(label string, shards int, m Map) {
-			rc := RunConfig{Threads: threads, Duration: opts.Duration, Trials: opts.Trials, Seed: 41}
+			rc := RunConfig{Threads: threads, Duration: opts.Duration, Trials: opts.Trials, Seed: opts.Seed + 41}
 			Prefill(m, wl.Universe, rc.Seed+1)
 			stmBefore, rqBefore := subjectSnapshots(m)
 			res := RunTrials(m, wl, rc)

@@ -59,6 +59,7 @@ func RunAll(t *testing.T, newMap Factory) {
 	t.Run("ConcurrentContended", func(t *testing.T) { RunConcurrentContended(t, newMap) })
 	t.Run("RangeSanity", func(t *testing.T) { RunRangeSanity(t, newMap) })
 	t.Run("RangeCountBound", func(t *testing.T) { RunRangeCountBound(t, newMap) })
+	t.Run("Linearizability", func(t *testing.T) { RunLinearizability(t, newMap) })
 }
 
 // RunPointQueryModel replays random updates and checks every point query

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/linearize"
 	"repro/internal/maptest"
 	"repro/internal/shard"
 	"repro/internal/stm"
@@ -45,6 +46,27 @@ func (a adapter) CheckQuiescent() error {
 	return a.s.CheckInvariants(core.CheckOptions{})
 }
 
+// Batch applies steps as one Atomic batch. In isolated mode a batch
+// whose keys span shards is rejected with ErrCrossShard and rolled
+// back, which Batch reports as not-applied.
+func (a adapter) Batch(steps []linearize.Step) bool {
+	return a.s.Atomic(func(op *shard.Txn[int64, int64]) error {
+		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
+		return nil
+	}) == nil
+}
+
+// InstallSTMHooks installs hooks on every runtime backing the map.
+func (a adapter) InstallSTMHooks(h stm.Hooks) {
+	if rt := a.s.Runtime(); rt != nil {
+		rt.SetHooks(h)
+		return
+	}
+	for i := 0; i < a.s.NumShards(); i++ {
+		a.s.Shard(i).Runtime().SetHooks(h)
+	}
+}
+
 func factory(cfg core.Config) maptest.Factory {
 	return func() maptest.OrderedMap {
 		cfg := cfg
@@ -78,6 +100,10 @@ func TestConformanceIsolated(t *testing.T) {
 			t.Run("ConcurrentDisjoint", func(t *testing.T) { maptest.RunConcurrentDisjoint(t, f) })
 			t.Run("ConcurrentContended", func(t *testing.T) { maptest.RunConcurrentContended(t, f) })
 			t.Run("RangeSanity", func(t *testing.T) { maptest.RunRangeSanity(t, f) })
+			// Per-shard snapshots make multi-shard ranges and point
+			// queries non-linearizable by design; the per-key subset
+			// (plus same-shard batches) is what isolation preserves.
+			t.Run("Linearizability", func(t *testing.T) { maptest.RunLinearizabilityPerKey(t, f) })
 		})
 	}
 }

@@ -1,0 +1,225 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies an instrumentation point in a transaction attempt's
+// lifecycle. The points are the three moments the paper's commit
+// protocol can be meaningfully perturbed at: after the attempt samples
+// its start time, before commit-time read-set validation, and after
+// validation but before the writes are published.
+type Point uint8
+
+const (
+	// PointBegin fires right after an attempt samples its start
+	// timestamp, before the user closure runs.
+	PointBegin Point = iota
+	// PointValidate fires at commit time for writing attempts, before
+	// the commit timestamp is drawn and the read set is validated.
+	// Read-only attempts skip it.
+	PointValidate
+	// PointCommit fires after validation succeeds, immediately before
+	// the attempt publishes its writes (for read-only attempts: before
+	// the no-op commit completes).
+	PointCommit
+)
+
+// String names the point for diagnostics.
+func (p Point) String() string {
+	switch p {
+	case PointBegin:
+		return "begin"
+	case PointValidate:
+		return "validate"
+	case PointCommit:
+		return "commit"
+	}
+	return "unknown"
+}
+
+// Hooks observes and steers every transaction of a Runtime. It is the
+// deterministic-schedule and fault-injection surface used by the
+// linearizability harness: an implementation can serialize interleavings
+// (StepScheduler), inject aborts (AbortInjector), or record event
+// traces. There is no build tag; a Runtime with nil hooks pays one nil
+// check per attempt.
+//
+// OnPoint is called on the transaction's own goroutine. Returning false
+// aborts the current attempt exactly as a conflict would: the attempt
+// rolls back and Runtime.Atomic retries (Runtime.TryOnce returns
+// ErrAborted). OnPoint must be safe for concurrent use.
+type Hooks interface {
+	OnPoint(p Point, txID uint64, attempt int) (proceed bool)
+}
+
+// mix64 is a splitmix64 finalization step, used wherever hooks and
+// backoff need a cheap seeded PRNG stream.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// AbortInjector is a Hooks implementation that aborts a seeded
+// pseudo-random fraction of attempts at every instrumentation point. It
+// is the "deliberately hostile scheduler" used to prove retry paths keep
+// histories linearizable: num out of den hook firings abort. The draw
+// sequence is a pure function of the seed and the global firing order,
+// so a single-threaded run is exactly reproducible and a concurrent run
+// is statistically reproducible.
+type AbortInjector struct {
+	seed   uint64
+	num    uint64
+	den    uint64
+	ctr    atomic.Uint64
+	aborts atomic.Uint64
+}
+
+// NewAbortInjector returns an injector aborting num of every den hook
+// firings (den must be nonzero).
+func NewAbortInjector(seed, num, den uint64) *AbortInjector {
+	if den == 0 {
+		den = 1
+	}
+	return &AbortInjector{seed: seed, num: num, den: den}
+}
+
+// OnPoint implements Hooks.
+func (a *AbortInjector) OnPoint(Point, uint64, int) bool {
+	i := a.ctr.Add(1)
+	if mix64(a.seed^i)%a.den < a.num {
+		a.aborts.Add(1)
+		return false
+	}
+	return true
+}
+
+// Injected returns how many hook firings have been drawn so far.
+func (a *AbortInjector) Injected() uint64 { return a.ctr.Load() }
+
+// Aborts returns how many of those firings actually injected an abort.
+func (a *AbortInjector) Aborts() uint64 { return a.aborts.Load() }
+
+// StepScheduler is a Hooks implementation that serializes transaction
+// execution: at every instrumentation point the calling goroutine
+// parks, and whenever no attached goroutine is runnable the scheduler
+// wakes exactly one parked goroutine, chosen by a seeded PRNG. All STM
+// events therefore execute one goroutine at a time, with every
+// scheduling decision derived from the seed — concurrent interleavings
+// become explorable and (given a deterministic start order, see Freeze)
+// reproducible.
+//
+// Protocol: each worker goroutine calls Attach before its first
+// transaction and Detach when done. While any goroutine is attached,
+// only attached goroutines may run transactions on the hooked runtime —
+// an unattached transaction would bypass the serialization. For a
+// deterministic start order, Freeze the scheduler, start workers one at
+// a time until Waiting reports each has parked at its first point, then
+// Release.
+type StepScheduler struct {
+	mu       sync.Mutex
+	rng      uint64
+	attached int
+	running  int
+	frozen   bool
+	waiters  []chan struct{}
+	steps    uint64
+}
+
+// NewStepScheduler returns a scheduler drawing every decision from seed.
+func NewStepScheduler(seed uint64) *StepScheduler {
+	return &StepScheduler{rng: seed}
+}
+
+// Attach enrolls the calling goroutine. It must be called before the
+// goroutine's first transaction on the hooked runtime.
+func (s *StepScheduler) Attach() {
+	s.mu.Lock()
+	s.attached++
+	s.running++
+	s.mu.Unlock()
+}
+
+// Detach withdraws the calling goroutine, handing the schedule to a
+// parked peer if it was the last one runnable.
+func (s *StepScheduler) Detach() {
+	s.mu.Lock()
+	s.attached--
+	s.running--
+	if !s.frozen && s.running == 0 && len(s.waiters) > 0 {
+		s.wakeOneLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Freeze holds every goroutine at its next instrumentation point until
+// Release, so a test can park all workers in a known order before the
+// first scheduling decision.
+func (s *StepScheduler) Freeze() {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
+}
+
+// Release ends a Freeze and wakes one parked goroutine if none is
+// runnable.
+func (s *StepScheduler) Release() {
+	s.mu.Lock()
+	s.frozen = false
+	if s.running == 0 && len(s.waiters) > 0 {
+		s.wakeOneLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Waiting reports how many goroutines are parked at a point.
+func (s *StepScheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Steps reports how many scheduling decisions have been made.
+func (s *StepScheduler) Steps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// OnPoint implements Hooks: park until the seeded schedule picks this
+// goroutine. It never injects an abort.
+func (s *StepScheduler) OnPoint(Point, uint64, int) bool {
+	s.mu.Lock()
+	if s.attached == 0 {
+		// Not engaged (setup or teardown traffic): pass through.
+		s.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	s.running--
+	if !s.frozen && s.running == 0 {
+		s.wakeOneLocked()
+	}
+	s.mu.Unlock()
+	<-ch
+	return true
+}
+
+// wakeOneLocked picks a parked goroutine by the seeded PRNG and makes
+// it the runnable one. Caller holds s.mu and guarantees the waiter list
+// is nonempty.
+func (s *StepScheduler) wakeOneLocked() {
+	s.rng = mix64(s.rng)
+	s.steps++
+	i := int(s.rng % uint64(len(s.waiters)))
+	ch := s.waiters[i]
+	last := len(s.waiters) - 1
+	s.waiters[i] = s.waiters[last]
+	s.waiters = s.waiters[:last]
+	s.running++
+	close(ch)
+}

@@ -15,11 +15,23 @@ type Runtime struct {
 	strict bool
 	txIDs  atomic.Uint64
 
+	// hooks is the schedule/fault instrumentation surface (see Hooks).
+	// It is swappable at runtime via SetHooks; each attempt snapshots it
+	// once at begin, so a swap takes effect at attempt granularity.
+	hooks atomic.Pointer[hooksBox]
+	// backoffSeed derives every descriptor's backoff PRNG stream, making
+	// backoff spin counts reproducible per descriptor for a fixed seed.
+	backoffSeed uint64
+
 	pool sync.Pool
 
 	mu          sync.Mutex
 	descriptors []*Tx
 }
+
+// hooksBox wraps the Hooks interface value so it can live in an
+// atomic.Pointer.
+type hooksBox struct{ h Hooks }
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -29,6 +41,19 @@ type Option func(*Runtime)
 // for.
 func WithClock(c Clock) Option {
 	return func(rt *Runtime) { rt.clock = c }
+}
+
+// WithHooks installs schedule/fault hooks at construction; see Hooks
+// and SetHooks.
+func WithHooks(h Hooks) Option {
+	return func(rt *Runtime) { rt.SetHooks(h) }
+}
+
+// WithBackoffSeed seeds the per-descriptor backoff PRNG streams. The
+// default seed is zero; any fixed seed makes each descriptor's backoff
+// spin counts a pure function of its creation index.
+func WithBackoffSeed(seed uint64) Option {
+	return func(rt *Runtime) { rt.backoffSeed = seed }
 }
 
 // New creates an STM runtime.
@@ -45,6 +70,7 @@ func New(opts ...Option) *Runtime {
 		tx := &Tx{rt: rt}
 		rt.mu.Lock()
 		rt.descriptors = append(rt.descriptors, tx)
+		tx.rng = mix64(rt.backoffSeed ^ uint64(len(rt.descriptors))*0x9e3779b97f4a7c15)
 		rt.mu.Unlock()
 		return tx
 	}
@@ -53,6 +79,27 @@ func New(opts ...Option) *Runtime {
 
 // Clock returns the runtime's commit clock.
 func (rt *Runtime) Clock() Clock { return rt.clock }
+
+// SetHooks installs (or, with nil, removes) the runtime's schedule and
+// fault-injection hooks. The swap is atomic and takes effect at the
+// next attempt of each transaction; in-flight attempts finish under the
+// hooks they started with.
+func (rt *Runtime) SetHooks(h Hooks) {
+	if h == nil {
+		rt.hooks.Store(nil)
+		return
+	}
+	rt.hooks.Store(&hooksBox{h: h})
+}
+
+// loadHooks returns the currently installed hooks, or nil.
+func (rt *Runtime) loadHooks() Hooks {
+	b := rt.hooks.Load()
+	if b == nil {
+		return nil
+	}
+	return b.h
+}
 
 // Atomic runs fn as a transaction, retrying until it commits. A non-nil
 // error from fn rolls the transaction back and is returned without
@@ -78,19 +125,25 @@ func (rt *Runtime) run(fn func(tx *Tx) error, tryOnce bool) error {
 	tx.attempts = 0
 	for {
 		tx.begin()
-		err, aborted := attempt(tx, fn)
-		if !aborted {
-			if err != nil {
+		if tx.hookPoint(PointBegin) {
+			err, aborted := attempt(tx, fn)
+			if !aborted {
+				if err != nil {
+					tx.rollback()
+					tx.stats.userErrors.Add(1)
+					return err
+				}
+				if tx.commit() {
+					tx.runHooks()
+					return nil
+				}
+				// Commit-time validation (or an injected abort) failed;
+				// commit already rolled back.
+			} else {
 				tx.rollback()
-				tx.stats.userErrors.Add(1)
-				return err
 			}
-			if tx.commit() {
-				tx.runHooks()
-				return nil
-			}
-			// Commit-time validation failed; commit already rolled back.
 		} else {
+			// Injected abort at begin.
 			tx.rollback()
 		}
 		if tryOnce {

@@ -34,6 +34,10 @@ type Tx struct {
 	attempts int
 	rng      uint64
 
+	// instr is the runtime's instrumentation hooks surface (see Hooks),
+	// snapshotted once per attempt at begin (nil when uninstrumented).
+	instr Hooks
+
 	stats txStats
 }
 
@@ -85,7 +89,17 @@ func (tx *Tx) begin() {
 	if len(tx.acqIndex) > 0 {
 		clear(tx.acqIndex)
 	}
+	tx.instr = tx.rt.loadHooks()
 	tx.active = true
+}
+
+// hookPoint fires the instrumentation hook at p, reporting whether the
+// attempt may proceed (false requests an injected abort).
+func (tx *Tx) hookPoint(p Point) bool {
+	if tx.instr == nil {
+		return true
+	}
+	return tx.instr.OnPoint(p, tx.id, tx.attempts)
 }
 
 // Start returns the transaction's start timestamp. Exposed for tests and
@@ -216,10 +230,18 @@ func (tx *Tx) commit() bool {
 		// against the start time, so the snapshot is consistent as of
 		// Start() and nothing remains to be done. This is the
 		// "negligible overhead" read-only optimization from §2.2.
+		if !tx.hookPoint(PointCommit) {
+			tx.rollback()
+			return false
+		}
 		tx.active = false
 		tx.stats.commits.Add(1)
 		tx.stats.readOnlyCommits.Add(1)
 		return true
+	}
+	if !tx.hookPoint(PointValidate) {
+		tx.rollback()
+		return false
 	}
 	end := tx.rt.clock.Next()
 	// Validate the read set: every orec we read must either still hold
@@ -236,6 +258,10 @@ func (tx *Tx) commit() bool {
 				continue
 			}
 		}
+		tx.rollback()
+		return false
+	}
+	if !tx.hookPoint(PointCommit) {
 		tx.rollback()
 		return false
 	}

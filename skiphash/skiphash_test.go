@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/linearize"
 	"repro/internal/maptest"
+	"repro/internal/stm"
 	"repro/skiphash"
 )
 
@@ -35,6 +37,19 @@ func (a adapter) CheckQuiescent() error {
 	a.m.Quiesce()
 	return a.m.CheckInvariants(skiphash.CheckOptions{})
 }
+
+// Batch applies steps as one Atomic transaction; the body tolerates
+// re-execution because each attempt overwrites the step outputs.
+func (a adapter) Batch(steps []linearize.Step) bool {
+	return a.m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
+		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
+		return nil
+	}) == nil
+}
+
+// InstallSTMHooks exposes the map's runtime to the linearizability
+// suite's fault-injection and deterministic-schedule phases.
+func (a adapter) InstallSTMHooks(h stm.Hooks) { a.m.Runtime().SetHooks(h) }
 
 func factory(cfg skiphash.Config) maptest.Factory {
 	return func() maptest.OrderedMap {
@@ -150,6 +165,26 @@ func (a shardedAdapter) Pred(k int64) (int64, int64, bool)  { return a.s.Pred(k)
 func (a shardedAdapter) CheckQuiescent() error {
 	a.s.Quiesce()
 	return a.s.CheckInvariants(skiphash.CheckOptions{})
+}
+
+// Batch applies steps as one cross-shard Atomic transaction.
+func (a shardedAdapter) Batch(steps []linearize.Step) bool {
+	return a.s.Atomic(func(op *skiphash.ShardedTxn[int64, int64]) error {
+		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
+		return nil
+	}) == nil
+}
+
+// InstallSTMHooks installs hooks on every runtime backing the map (one
+// shared, or one per shard when isolated).
+func (a shardedAdapter) InstallSTMHooks(h stm.Hooks) {
+	if rt := a.s.Runtime(); rt != nil {
+		rt.SetHooks(h)
+		return
+	}
+	for i := 0; i < a.s.NumShards(); i++ {
+		a.s.Shard(i).Runtime().SetHooks(h)
+	}
 }
 
 func TestConformanceSharded(t *testing.T) {
