@@ -8,6 +8,7 @@
 //	skipbench fig6             # Figure 6: split roles vs range length
 //	skipbench table1           # Table 1: fast-path aborts per query
 //	skipbench shards           # shard-count sweep of the sharded variant
+//	skipbench churn            # handle-churn windows: range throughput over time
 //	skipbench all              # everything
 //
 // Flags:
@@ -19,6 +20,7 @@
 //	-csv file     append machine-readable rows to file
 //	-json file    write per-workload throughput/abort-rate rows as JSON
 //	-quick        smoke-test mode (200ms trials, 2^16 universe)
+//	-windows n    measurement windows for the churn experiment (default 6)
 //	-seed n       base seed for prefill and worker RNG streams (default 0,
 //	              the historical streams); a fixed seed makes prefill and
 //	              workload key sequences reproducible across runs
@@ -52,6 +54,7 @@ func main() {
 		jsonPath = fs.String("json", "", "write JSON rows to this file")
 		quick    = fs.Bool("quick", false, "smoke-test mode")
 		seed     = fs.Uint64("seed", 0, "base seed for prefill and worker RNG streams")
+		windows  = fs.Int("windows", 6, "measurement windows for the churn experiment")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -101,6 +104,8 @@ func main() {
 		err = bench.Table1(os.Stdout, opts)
 	case "shards":
 		err = bench.Shards(os.Stdout, opts)
+	case "churn":
+		err = bench.Churn(os.Stdout, *windows, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -118,6 +123,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Shards(os.Stdout, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Churn(os.Stdout, *windows, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -167,7 +176,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

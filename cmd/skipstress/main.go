@@ -11,13 +11,20 @@
 // exiting nonzero with the offending partition and a reproducer seed on
 // any violation.
 //
+// With -churn it runs the handle-lifecycle stress: sustained
+// insert/remove churn through pooled convenience handles and constantly
+// recreated explicit handles (background maintenance enabled), with a
+// periodic stop-the-world garbage audit asserting the handle registry
+// stays bounded and a quiesced level-0 walk holds no logically-deleted
+// stitched node.
+//
 // All randomness derives from -seed, so any reported failure can be
 // replayed by re-running with the printed flags.
 //
 // Usage:
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
-//	           [-shards n] [-isolated] [-seed n] [-check]
+//	           [-shards n] [-isolated] [-seed n] [-check] [-churn]
 package main
 
 import (
@@ -39,9 +46,16 @@ import (
 // that the stress loop needs.
 type stressMap interface {
 	Lookup(k int64) (int64, bool)
+	Insert(k, v int64) bool
+	Remove(k int64) bool
 	Quiesce()
 	CheckInvariants(skiphash.CheckOptions) error
 	RangeStats() skiphash.RangeStats
+	HandleCount() int
+	StitchedSlow() int
+	SizeSlow() int
+	MaintenanceStats() skiphash.MaintenanceStats
+	Close()
 }
 
 // stressHandle is the per-worker face; both skiphash.Handle and
@@ -51,6 +65,7 @@ type stressHandle interface {
 	Remove(k int64) bool
 	Lookup(k int64) (int64, bool)
 	Range(l, r int64, out []skiphash.Pair[int64, int64]) []skiphash.Pair[int64, int64]
+	Close()
 }
 
 // maxFailurePrints caps per-failure output so a systemic bug cannot
@@ -68,10 +83,18 @@ func main() {
 		isolated = flag.Bool("isolated", false, "per-shard STM runtimes (with -shards)")
 		seed     = flag.Uint64("seed", 1, "seed for all workload randomness")
 		check    = flag.Bool("check", false, "record histories and verify linearizability online")
+		churn    = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
 	)
 	flag.Parse()
 
+	if *check && *churn {
+		fmt.Fprintln(os.Stderr, "skipstress: -check and -churn are mutually exclusive")
+		os.Exit(2)
+	}
 	cfg := skiphash.Config{}
+	if *churn {
+		cfg.Maintenance = true
+	}
 	switch *mode {
 	case "fast":
 		cfg.FastOnly = true
@@ -106,13 +129,22 @@ func main() {
 		checkable = checkAdapter{um}
 	}
 
-	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s",
+	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s%s",
 		*seed, *threads, *duration, *universe, *mode, *rangeLen, *shards,
 		map[bool]string{true: " -isolated"}[*isolated],
-		map[bool]string{true: " -check"}[*check])
+		map[bool]string{true: " -check"}[*check],
+		map[bool]string{true: " -churn"}[*churn])
 
 	if *check {
 		runCheck(checkable, m, *threads, *duration, *seed, *isolated, variant, reproducer)
+		return
+	}
+	if *churn {
+		handleWeight := 1
+		if sm, ok := m.(*skiphash.Sharded[int64, int64]); ok {
+			handleWeight = sm.NumShards() + 1
+		}
+		runChurn(m, newHandle, *threads, handleWeight, *duration, *universe, *seed, variant, reproducer)
 		return
 	}
 
@@ -205,6 +237,130 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skipstress: FAILED (%d balance errors, %d online failures)\n",
 			bad, failures.Load())
 		fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+		os.Exit(1)
+	}
+	fmt.Println("skipstress: PASS")
+}
+
+// runChurn is the handle-lifecycle stress: workers alternate between
+// pooled convenience traffic and short-lived explicit handles (closed
+// after a fixed op budget), with background maintenance on, while a
+// periodic stop-the-world audit quiesces the map and asserts (a) the
+// handle registry is bounded by the live workers, and (b) a full
+// level-0 walk holds no logically-deleted stitched node. Any audit
+// failure exits 1 with a reproducer line.
+func runChurn(m stressMap, newHandle func() stressHandle, threads, handleWeight int,
+	duration time.Duration, universe int64, seed uint64, variant, reproducer string) {
+	fmt.Printf("skipstress: -churn, %d threads, %v, universe %d, seed %d, %s\n",
+		threads, duration, universe, seed, variant)
+
+	const handleTurnoverOps = 512
+	var world sync.RWMutex
+	var ops, turnovers atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(worker uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, worker^0xc40e))
+			var h stressHandle
+			hOps := 0
+			for {
+				select {
+				case <-done:
+					if h != nil {
+						h.Close()
+					}
+					return
+				default:
+				}
+				world.RLock()
+				for i := 0; i < 64; i++ {
+					k := int64(rng.Uint64() % uint64(universe))
+					if h == nil {
+						if rng.Uint64()&1 == 0 {
+							m.Insert(k, k)
+						} else {
+							m.Remove(k)
+						}
+					} else {
+						if rng.Uint64()&1 == 0 {
+							h.Insert(k, k)
+						} else {
+							h.Remove(k)
+						}
+						hOps++
+					}
+					ops.Add(1)
+				}
+				if h == nil && rng.Uint64()%4 == 0 {
+					h = newHandle()
+					hOps = 0
+				} else if h != nil && hOps >= handleTurnoverOps {
+					h.Close()
+					h = nil
+					turnovers.Add(1)
+				}
+				world.RUnlock()
+			}
+		}(uint64(t) + 1)
+	}
+
+	audit := func(label string) bool {
+		world.Lock()
+		defer world.Unlock()
+		m.Quiesce()
+		ok := true
+		if got, bound := m.HandleCount(), threads*handleWeight; got > bound {
+			fmt.Fprintf(os.Stderr, "FAIL (%s): handle registry %d exceeds bound %d\n", label, got, bound)
+			ok = false
+		}
+		if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+			fmt.Fprintf(os.Stderr, "FAIL (%s): %d logically-deleted nodes still stitched after quiesce\n",
+				label, stitched-live)
+			ok = false
+		}
+		if err := m.CheckInvariants(skiphash.CheckOptions{}); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL (%s): invariants: %v\n", label, err)
+			ok = false
+		}
+		return ok
+	}
+
+	auditEvery := duration / 8
+	if auditEvery < 250*time.Millisecond {
+		auditEvery = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	audits, failed := 0, false
+	for time.Now().Before(deadline) {
+		sleep := auditEvery
+		if rem := time.Until(deadline); rem < sleep {
+			sleep = rem
+		}
+		time.Sleep(sleep)
+		audits++
+		if !audit(fmt.Sprintf("audit %d", audits)) {
+			failed = true
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if !failed && !audit("final") {
+		failed = true
+	}
+	m.Close()
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		fmt.Fprintf(os.Stderr, "FAIL: %d logically-deleted nodes stitched after Close\n", stitched-live)
+		failed = true
+	}
+	ms := m.MaintenanceStats()
+	fmt.Printf("ops=%d handle-turnovers=%d audits=%d orphaned=%d adopted=%d drained=%d batches=%d wakeups=%d\n",
+		ops.Load(), turnovers.Load(), audits, ms.Orphaned, ms.Adopted, ms.DrainedNodes, ms.DrainBatches, ms.Wakeups)
+	if failed {
+		fmt.Fprintf(os.Stderr, "skipstress: FAILED\nreproduce with: %s\n", reproducer)
 		os.Exit(1)
 	}
 	fmt.Println("skipstress: PASS")

@@ -2,7 +2,11 @@
 // Ordered Map Via Software Transactional Memory" (Rodriguez, Aksenov,
 // Spear). The public API lives in repro/skiphash — including the
 // sharded variant that partitions the map across independent skip-hash
-// shards — and the experiment drivers in cmd/skipbench regenerate every
-// figure and table of the paper's evaluation plus the shard sweep. See
-// README.md for the package map and quickstart.
+// shards, and the handle-lifecycle subsystem (Handle.Close, orphan
+// queues, the Config.Maintenance background maintainer) that keeps the
+// paper's deferred removal buffers from stranding stitched nodes on
+// long-running servers. The experiment drivers in cmd/skipbench
+// regenerate every figure and table of the paper's evaluation plus the
+// shard sweep and the handle-churn series. See README.md for the
+// package map and quickstart.
 package repro

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/thashmap"
+	"repro/skiphash"
+)
+
+// This file is the long-running churn experiment behind the handle
+// lifecycle and background-reclamation subsystem: sustained
+// remove/insert cycles through the pooled convenience paths, with
+// explicit handles created and closed throughout, while dedicated
+// goroutines measure range throughput in consecutive windows. Before
+// the lifecycle subsystem existed, every removal routed through a
+// pooled handle could strand its node stitched-but-deleted, so the
+// level-0 chain grew without bound and range throughput decayed
+// monotonically window over window; with orphan-queue reclamation (and
+// optionally the background maintainer) the backlog stays bounded and
+// the series stays flat.
+
+// churnHandle is the explicit-handle face the turnover loop needs; both
+// skiphash.Handle and skiphash.ShardedHandle satisfy it.
+type churnHandle interface {
+	Insert(k, v int64) bool
+	Remove(k int64) bool
+	Close()
+}
+
+// churnSubject adapts one map variant for the churn driver.
+type churnSubject struct {
+	name      string
+	insert    func(k int64) bool
+	remove    func(k int64) bool
+	rangeLen  func(l, r int64) int
+	newHandle func() churnHandle
+	backlog   func() int
+	handles   func() int
+	drained   func() uint64
+	quiesce   func()
+	close     func()
+}
+
+func churnUnsharded(name string, cfg skiphash.Config) *churnSubject {
+	m := skiphash.NewInt64[int64](cfg)
+	return &churnSubject{
+		name:   name,
+		insert: func(k int64) bool { return m.Insert(k, k) },
+		remove: func(k int64) bool { return m.Remove(k) },
+		rangeLen: func(l, r int64) int {
+			return len(m.Range(l, r, nil))
+		},
+		newHandle: func() churnHandle { return m.NewHandle() },
+		backlog:   func() int { return liveBacklog(m.StitchedSlow(), m.SizeSlow()) },
+		handles:   func() int { return m.HandleCount() },
+		drained:   func() uint64 { return m.MaintenanceStats().DrainedNodes },
+		quiesce:   func() { m.Quiesce() },
+		close:     func() { m.Close() },
+	}
+}
+
+func churnSharded(name string, cfg skiphash.Config) *churnSubject {
+	m := skiphash.NewInt64Sharded[int64](cfg)
+	return &churnSubject{
+		name:   fmt.Sprintf("%s-%d", name, m.NumShards()),
+		insert: func(k int64) bool { return m.Insert(k, k) },
+		remove: func(k int64) bool { return m.Remove(k) },
+		rangeLen: func(l, r int64) int {
+			return len(m.Range(l, r, nil))
+		},
+		newHandle: func() churnHandle { return m.NewHandle() },
+		backlog:   func() int { return liveBacklog(m.StitchedSlow(), m.SizeSlow()) },
+		handles:   func() int { return m.HandleCount() },
+		drained:   func() uint64 { return m.MaintenanceStats().DrainedNodes },
+		quiesce:   func() { m.Quiesce() },
+		close:     func() { m.Close() },
+	}
+}
+
+// churnSubjects returns constructors for the churn series: the
+// unsharded map with the background maintainer, the same map on inline
+// threshold reclamation only, and the sharded map with per-shard
+// maintainers. Construction is deferred to measurement time so one
+// subject's maintainer goroutines never tick during another's windows,
+// and an early error cannot leak maps that were never measured.
+func churnSubjects() []func() *churnSubject {
+	buckets := thashmap.DefaultBuckets
+	return []func() *churnSubject{
+		func() *churnSubject {
+			return churnUnsharded("skiphash-maint", skiphash.Config{Buckets: buckets, Maintenance: true})
+		},
+		func() *churnSubject {
+			return churnUnsharded("skiphash-inline", skiphash.Config{Buckets: buckets})
+		},
+		func() *churnSubject {
+			// Pinned to 4 shards so the series is comparable across hosts.
+			return churnSharded("skiphash-sharded-maint", skiphash.Config{Buckets: buckets, Shards: 4, Maintenance: true})
+		},
+	}
+}
+
+// liveBacklog clamps a racily sampled stitched-minus-live reading; the
+// two walks are unsynchronized, so mid-churn samples can transiently go
+// negative.
+func liveBacklog(stitched, live int) int {
+	if stitched < live {
+		return 0
+	}
+	return stitched - live
+}
+
+// handleTurnoverOps is how many operations each explicit handle performs
+// before the worker closes it and opens a fresh one, exercising
+// NewHandle/Close churn alongside the pooled convenience traffic.
+const handleTurnoverOps = 256
+
+// Churn runs the handle-churn experiment: for each subject,
+// opts.Threads/2 (min 1) updater goroutines run remove/insert cycles —
+// through the pooled convenience methods, and periodically through
+// short-lived explicit handles — while the same number of range
+// goroutines measure range throughput, reported per window of
+// opts.Duration. A healthy reclamation path shows a flat range series
+// and a bounded backlog; a leak shows monotonic decay and a backlog
+// growing with every window.
+func Churn(w io.Writer, windows int, opts Options) error {
+	opts = opts.withDefaults()
+	if windows <= 0 {
+		windows = 6
+	}
+	threads := opts.Threads[len(opts.Threads)-1]
+	half := threads / 2
+	if half < 1 {
+		half = 1
+	}
+	universe := opts.Universe
+	rangeSpan := universe / 100
+	if rangeSpan < 16 {
+		rangeSpan = 16
+	}
+	fmt.Fprintf(w, "# Churn: %d update + %d range threads, universe %d, %d windows x %v\n",
+		half, half, universe, windows, opts.Duration)
+	fmt.Fprintf(w, "%-26s %-8s %14s %14s %12s %10s\n",
+		"map", "window", "update-Mops/s", "range-Mpairs/s", "backlog", "handles")
+	for _, newSub := range churnSubjects() {
+		if err := churnOne(w, newSub(), half, windows, universe, rangeSpan, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func churnOne(w io.Writer, sub *churnSubject, half, windows int, universe, rangeSpan int64, opts Options) error {
+	defer sub.close() // idempotent; guarantees maintainer teardown on every path
+	seed := opts.Seed + 97
+	perm := rand.New(rand.NewPCG(seed, 0x5eed)).Perm(int(universe))
+	for i := 0; i < int(universe)/2; i++ {
+		sub.insert(int64(perm[i]))
+	}
+
+	var updates, rangePairs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < half; t++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+id, 0xabc1))
+			var h churnHandle
+			hOps := 0
+			for {
+				select {
+				case <-stop:
+					if h != nil {
+						h.Close()
+					}
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					k := int64(rng.Uint64() % uint64(universe))
+					if h == nil {
+						// Convenience path: pooled transient handles.
+						if rng.Uint64()&1 == 0 {
+							sub.remove(k)
+						} else {
+							sub.insert(k)
+						}
+					} else {
+						if rng.Uint64()&1 == 0 {
+							h.Remove(k)
+						} else {
+							h.Insert(k, k)
+						}
+						hOps++
+					}
+					updates.Add(1)
+				}
+				// Handle turnover: alternate between pooled convenience
+				// traffic and short-lived explicit handles.
+				if h == nil && rng.Uint64()%8 == 0 {
+					h = sub.newHandle()
+					hOps = 0
+				} else if h != nil && hOps >= handleTurnoverOps {
+					h.Close()
+					h = nil
+				}
+			}
+		}(uint64(t) + 1)
+	}
+	for t := 0; t < half; t++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+id, 0xabc2))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l := int64(rng.Uint64() % uint64(universe))
+				n := sub.rangeLen(l, l+rangeSpan)
+				rangePairs.Add(uint64(n))
+			}
+		}(uint64(t) + 101)
+	}
+
+	var firstRange, lastRange float64
+	for win := 0; win < windows; win++ {
+		u0, p0 := updates.Load(), rangePairs.Load()
+		began := time.Now()
+		time.Sleep(opts.Duration)
+		elapsed := time.Since(began).Seconds()
+		du := updates.Load() - u0
+		dp := rangePairs.Load() - p0
+		updMops := float64(du) / 1e6 / elapsed
+		rngMpairs := float64(dp) / 1e6 / elapsed
+		backlog := sub.backlog()
+		handles := sub.handles()
+		if win == 0 {
+			firstRange = rngMpairs
+		}
+		lastRange = rngMpairs
+		fmt.Fprintf(w, "%-26s %-8d %14.2f %14.2f %12d %10d\n",
+			sub.name, win, updMops, rngMpairs, backlog, handles)
+		if opts.CSV != nil {
+			fmt.Fprintf(opts.CSV, "churn,%s,%d,%.4f,%.4f,%d,%d\n",
+				sub.name, win, updMops, rngMpairs, backlog, handles)
+		}
+		if opts.Report != nil {
+			win, backlog, handles, drained := win, backlog, handles, sub.drained()
+			opts.Report.Add(Row{
+				Experiment: "churn", Map: sub.name, Threads: 2 * half, Window: &win,
+				UpdateMops: updMops, RangeMpairs: rngMpairs,
+				Backlog: &backlog, Handles: &handles, Drained: &drained,
+			})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	sub.quiesce()
+	finalBacklog := sub.backlog()
+	fmt.Fprintf(w, "%-26s quiesced: backlog %d, handles %d, drained %d, range first->last %.2f -> %.2f Mpairs/s\n",
+		sub.name, finalBacklog, sub.handles(), sub.drained(), firstRange, lastRange)
+	if finalBacklog != 0 {
+		return fmt.Errorf("bench: %s left %d stitched logically-deleted nodes after quiesce", sub.name, finalBacklog)
+	}
+	return nil
+}

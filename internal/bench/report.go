@@ -41,6 +41,19 @@ type Row struct {
 	FastCommits uint64 `json:"fast_commits,omitempty"`
 	SlowCommits uint64 `json:"slow_commits,omitempty"`
 	FastAborts  uint64 `json:"fast_aborts,omitempty"`
+	// Window is the measurement window index of a churn run (the series
+	// whose flatness demonstrates background reclamation working). The
+	// churn fields are pointers so that churn rows always carry them —
+	// window 0 is a real window and a zero backlog is the healthy result
+	// the experiment demonstrates — while other experiments' rows omit
+	// them entirely instead of reporting unmeasured zeros.
+	Window *int `json:"window,omitempty"`
+	// Backlog is the stitched-but-logically-deleted node count sampled
+	// at the end of a churn window; Handles the registry length; Drained
+	// the cumulative nodes reclaimed by the maintenance subsystem.
+	Backlog *int    `json:"backlog,omitempty"`
+	Handles *int    `json:"handles,omitempty"`
+	Drained *uint64 `json:"drained,omitempty"`
 }
 
 // Report collects Rows across experiments; it is safe for concurrent

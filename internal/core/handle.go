@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/stm"
@@ -10,15 +11,34 @@ import (
 // the scratch predecessor array for tower searches, the removal buffer
 // of §4.5 (deferred unstitch batching, size 32 in the paper), and
 // operation counters. A Handle must not be used concurrently; create one
-// per worker goroutine with Map.NewHandle.
+// per worker goroutine with Map.NewHandle and call Close when the worker
+// is done, so the handle leaves the map's registry and its buffered
+// removals reach the orphan queue instead of staying stitched forever.
 type Handle[K comparable, V any] struct {
 	m     *Map[K, V]
 	preds []*node[K, V]
-	buf   []*node[K, V]
 	stats HandleStats
 	// adaptSkip counts remaining range queries that bypass the fast
 	// path under Config.Adaptive.
 	adaptSkip int
+
+	// buf is the removal buffer. It is appended to by the owning
+	// goroutine (in on-commit hooks) but handed off wholesale by
+	// Quiesce, Close and Recycle, which may run on other goroutines;
+	// bufMu guards exactly that handoff so flushing is safe concurrent
+	// with in-flight operations. No transactional work ever runs under
+	// bufMu: flushers swap the slice out and drain outside the lock.
+	// bufLen mirrors len(buf) (updated under bufMu) so the release fast
+	// path can skip the lock entirely when there is nothing buffered.
+	bufMu  sync.Mutex
+	buf    []*node[K, V]
+	bufLen atomic.Int32
+	closed bool
+
+	// registered records membership in Map.handles (explicit handles
+	// only; pooled transient handles bank their counters on release
+	// instead of living in the registry).
+	registered bool
 }
 
 // HandleStats counts operations and range-path events for one handle.
@@ -37,8 +57,25 @@ type HandleStats struct {
 }
 
 // NewHandle creates a handle bound to m and registers it for stats
-// aggregation.
+// aggregation. The caller should Close it when done; handles that are
+// never closed stay in the registry (and keep their removal buffer
+// private) for the life of the map.
 func (m *Map[K, V]) NewHandle() *Handle[K, V] {
+	h := m.NewTransientHandle()
+	h.registered = true
+	m.mu.Lock()
+	m.handles = append(m.handles, h)
+	m.mu.Unlock()
+	return h
+}
+
+// NewTransientHandle creates a handle that is not tracked by the map's
+// handle registry: its counters and removal buffer only reach the map
+// when Recycle or Close banks them. The pooled convenience paths are
+// built on transient handles so that handles dropped by the pool (GC
+// empties sync.Pool) cannot grow the registry or strand buffered
+// removals; explicit workers normally want NewHandle instead.
+func (m *Map[K, V]) NewTransientHandle() *Handle[K, V] {
 	h := &Handle[K, V]{
 		m:     m,
 		preds: make([]*node[K, V], m.cfg.MaxLevel),
@@ -46,14 +83,129 @@ func (m *Map[K, V]) NewHandle() *Handle[K, V] {
 	if m.cfg.RemovalBufferSize > 0 {
 		h.buf = make([]*node[K, V], 0, m.cfg.RemovalBufferSize)
 	}
-	m.mu.Lock()
-	m.handles = append(m.handles, h)
-	m.mu.Unlock()
 	return h
 }
 
 // Map returns the map this handle operates on.
 func (h *Handle[K, V]) Map() *Map[K, V] { return h.m }
+
+// Close retires the handle: its counters are banked into the map's
+// retired-stats accumulator (RangeStats loses nothing), its buffered
+// removals are handed to the orphan queue for batched reclamation, and —
+// for handles created with NewHandle — it is deregistered from the
+// handle registry. Close is idempotent. The owning goroutine must issue
+// no further operations through the handle; a removal that commits
+// concurrently with Close still reaches the orphan queue rather than a
+// dead buffer.
+func (h *Handle[K, V]) Close() {
+	h.bufMu.Lock()
+	alreadyClosed := h.closed
+	h.closed = true
+	take := h.buf
+	h.buf = nil
+	h.bufLen.Store(0)
+	h.bufMu.Unlock()
+	h.bankStats()
+	h.m.orphanNodes(take)
+	if alreadyClosed || !h.registered {
+		return
+	}
+	m := h.m
+	m.mu.Lock()
+	for i, other := range m.handles {
+		if other == h {
+			last := len(m.handles) - 1
+			m.handles[i] = m.handles[last]
+			m.handles[last] = nil
+			m.handles = m.handles[:last]
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Recycle banks the handle's counters and hands its buffered removals to
+// the orphan queue while leaving the handle usable, unlike Close. The
+// pooled convenience paths call it on every release, so a handle parked
+// in — or dropped from — the pool never holds stranded state; a clean
+// handle (the common case — point operations buffer nothing) recycles
+// with a handful of atomic loads and no lock.
+func (h *Handle[K, V]) Recycle() {
+	h.bankStats()
+	if h.bufLen.Load() == 0 {
+		return // nothing buffered; any racing flusher only shrinks the buffer
+	}
+	if take := h.takeBuf(); take != nil {
+		h.m.orphanNodes(take) // copies the pointers into the queue
+		h.finishDrain(take)
+	}
+}
+
+// takeBuf detaches the handle's removal buffer for a handoff, returning
+// nil when there is nothing to drain (the buffer, if any, stays put).
+func (h *Handle[K, V]) takeBuf() []*node[K, V] {
+	h.bufMu.Lock()
+	take := h.buf
+	if len(take) == 0 {
+		h.bufMu.Unlock()
+		return nil
+	}
+	h.buf = nil
+	h.bufLen.Store(0)
+	h.bufMu.Unlock()
+	return take
+}
+
+// finishDrain completes a buffer handoff after the nodes have reached
+// their sink: the drained slice's pointers are zeroed (so the pooled
+// backing array pins no nodes) and the array is offered back to the
+// handle. Every flush path — Recycle, pushRemoval overflow,
+// FlushRemovals — funnels through here so the protocol lives in one
+// place.
+func (h *Handle[K, V]) finishDrain(take []*node[K, V]) {
+	for i := range take {
+		take[i] = nil
+	}
+	h.restoreBuf(take[:0])
+}
+
+// restoreBuf hands the (now-drained) backing array back to the handle so
+// steady-state flushing allocates nothing.
+func (h *Handle[K, V]) restoreBuf(buf []*node[K, V]) {
+	h.bufMu.Lock()
+	if h.buf == nil && !h.closed {
+		h.buf = buf
+	}
+	h.bufMu.Unlock()
+}
+
+// bankStats moves the handle's counters into the map's retired
+// accumulator, under the same mutex RangeStats aggregates under, so a
+// snapshot can never catch a value on both sides of a move (no double
+// count, no loss — successive RangeStats snapshots are monotone and Sub
+// deltas non-negative). The Load guard keeps the common all-zero bank
+// (point operations never touch these counters) to plain reads; m.mu is
+// uncontended on that path outside registry churn and stats scrapes.
+func (h *Handle[K, V]) bankStats() {
+	st := &h.stats
+	if st.RangeFastAttempts.Load()|st.RangeFastAborts.Load()|
+		st.RangeFastCommits.Load()|st.RangeSlowCommits.Load() == 0 {
+		return // nothing to move; skipping the lock cannot affect a snapshot
+	}
+	bank := func(c *atomic.Uint64, r *atomic.Uint64) {
+		if v := c.Load(); v != 0 {
+			r.Add(v)
+			c.Store(0) // owner-exclusive writer, so no increments are lost
+		}
+	}
+	m := h.m
+	m.mu.Lock()
+	bank(&st.RangeFastAttempts, &m.retired.fastAttempts)
+	bank(&st.RangeFastAborts, &m.retired.fastAborts)
+	bank(&st.RangeFastCommits, &m.retired.fastCommits)
+	bank(&st.RangeSlowCommits, &m.retired.slowCommits)
+	m.mu.Unlock()
+}
 
 // Lookup returns the value associated with k. O(1): one hash map probe
 // and at most one extra read (Fig. 1).
@@ -199,38 +351,47 @@ func (m *Map[K, V]) afterRemove(tx *stm.Tx, h *Handle[K, V], n *node[K, V]) {
 		m.rqc.afterRemove(tx, m, n)
 		return
 	}
-	tx.OnCommit(func() {
-		h.buf = append(h.buf, n)
-		if len(h.buf) >= m.cfg.RemovalBufferSize {
-			h.FlushRemovals()
-		}
-	})
+	tx.OnCommit(func() { h.pushRemoval(n) })
 }
 
-// FlushRemovals drains the handle's removal buffer: if no slow-path
-// range query is in flight every buffered node is unstitched
-// immediately; otherwise the whole buffer is spliced onto the most
-// recent query's deferred list (§4.5). Tests and quiescence points may
-// call it directly; it is otherwise automatic once the buffer fills.
-func (h *Handle[K, V]) FlushRemovals() {
-	m := h.m
-	if len(h.buf) == 0 {
+// pushRemoval appends one committed removal to the buffer, flushing when
+// the buffer reaches Config.RemovalBufferSize. A node committed against
+// a closed (or mid-handoff) handle is routed to the orphan queue, so no
+// removal can strand in a buffer nobody will flush.
+func (h *Handle[K, V]) pushRemoval(n *node[K, V]) {
+	h.bufMu.Lock()
+	if h.buf == nil {
+		h.bufMu.Unlock()
+		h.m.orphanNode(n)
 		return
 	}
-	_ = m.rt.Atomic(func(tx *stm.Tx) error {
-		tail := m.rqc.tailOp(tx)
-		if tail == nil {
-			for _, n := range h.buf {
-				m.unstitchTx(tx, n)
-			}
-			return nil
-		}
-		for _, n := range h.buf {
-			m.rqc.appendDeferred(tx, tail, n)
-		}
-		return nil
-	})
-	h.buf = h.buf[:0]
+	h.buf = append(h.buf, n)
+	if len(h.buf) < h.m.cfg.RemovalBufferSize {
+		h.bufLen.Store(int32(len(h.buf)))
+		h.bufMu.Unlock()
+		return
+	}
+	take := h.buf
+	h.buf = nil
+	h.bufLen.Store(0)
+	h.bufMu.Unlock()
+	h.m.drainNodes(take)
+	h.finishDrain(take)
+}
+
+// FlushRemovals drains the handle's removal buffer in bounded
+// transactional batches: chunks are unstitched immediately when no
+// slow-path range query is in flight and spliced onto the most recent
+// query's deferred list otherwise (§4.5). It is safe to call from any
+// goroutine, concurrent with the owner's operations — the buffer is
+// swapped out under the handle's buffer lock and drained outside it.
+// Tests and quiescence points may call it directly; it is otherwise
+// automatic once the buffer fills.
+func (h *Handle[K, V]) FlushRemovals() {
+	if take := h.takeBuf(); take != nil {
+		h.m.drainNodes(take)
+		h.finishDrain(take)
+	}
 }
 
 // Stats returns a snapshot of the handle's counters.
@@ -260,99 +421,129 @@ func (s RangeStats) Sub(prev RangeStats) RangeStats {
 	}
 }
 
-// RangeStats aggregates counters across all handles.
+// RangeStats aggregates counters across all registered handles plus the
+// retired accumulator (closed handles and released pooled handles bank
+// their counters there, so history survives handle turnover). The whole
+// aggregation runs under m.mu — the mutex bankStats moves counters
+// under — so snapshots are exact with respect to banking and successive
+// snapshots never decrease (Sub deltas stay non-negative).
 func (m *Map[K, V]) RangeStats() RangeStats {
 	m.mu.Lock()
-	handles := make([]*Handle[K, V], len(m.handles))
-	copy(handles, m.handles)
-	m.mu.Unlock()
+	defer m.mu.Unlock()
 	var s RangeStats
-	for _, h := range handles {
+	for _, h := range m.handles {
 		s.FastAttempts += h.stats.RangeFastAttempts.Load()
 		s.FastAborts += h.stats.RangeFastAborts.Load()
 		s.FastCommits += h.stats.RangeFastCommits.Load()
 		s.SlowCommits += h.stats.RangeSlowCommits.Load()
 	}
+	s.FastAttempts += m.retired.fastAttempts.Load()
+	s.FastAborts += m.retired.fastAborts.Load()
+	s.FastCommits += m.retired.fastCommits.Load()
+	s.SlowCommits += m.retired.slowCommits.Load()
 	return s
 }
 
-// Convenience methods on Map borrow a pooled handle. They are the
-// ergonomic entry points; benchmark workers hold explicit handles.
+// Convenience methods on Map borrow a pooled transient handle. They are
+// the ergonomic entry points; benchmark workers hold explicit handles.
+// Every release recycles the handle — counters banked, buffered removals
+// handed to the orphan queue — so a handle the pool later drops under GC
+// pressure cannot strand removals or grow the registry.
 
 func (m *Map[K, V]) borrow() *Handle[K, V] { return m.handlePool.Get().(*Handle[K, V]) }
+
+// release recycles a borrowed handle before returning it to the pool;
+// for paths that may have dirtied it (Remove/Put buffer removals,
+// Range/Atomic touch the counters).
+func (m *Map[K, V]) release(h *Handle[K, V]) {
+	h.Recycle()
+	m.handlePool.Put(h)
+}
+
+// releaseClean returns a borrowed handle without the recycle pass; only
+// for operations that can neither buffer a removal nor touch a
+// range-path counter (lookups, inserts, point queries, iteration), so
+// the O(1) read path pays nothing beyond the pool round-trip. Dirty
+// paths always release through release(), so a pooled handle's buffer
+// is empty by invariant.
+func (m *Map[K, V]) releaseClean(h *Handle[K, V]) { m.handlePool.Put(h) }
 
 // Lookup returns the value associated with k.
 func (m *Map[K, V]) Lookup(k K) (V, bool) {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Lookup(k)
 }
 
 // Contains reports whether k is present.
 func (m *Map[K, V]) Contains(k K) bool {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Contains(k)
 }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (m *Map[K, V]) Insert(k K, v V) bool {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Insert(k, v)
 }
 
 // Remove deletes k and reports whether it was present.
 func (m *Map[K, V]) Remove(k K) bool {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.release(h)
 	return h.Remove(k)
 }
 
 // Put sets k to v unconditionally; see Handle.Put.
 func (m *Map[K, V]) Put(k K, v V) bool {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.release(h)
 	return h.Put(k, v)
 }
 
 // Ceil returns the smallest key >= k and its value.
 func (m *Map[K, V]) Ceil(k K) (K, V, bool) {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Ceil(k)
 }
 
 // Succ returns the smallest key > k and its value.
 func (m *Map[K, V]) Succ(k K) (K, V, bool) {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Succ(k)
 }
 
 // Floor returns the largest key <= k and its value.
 func (m *Map[K, V]) Floor(k K) (K, V, bool) {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Floor(k)
 }
 
 // Pred returns the largest key < k and its value.
 func (m *Map[K, V]) Pred(k K) (K, V, bool) {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.releaseClean(h)
 	return h.Pred(k)
 }
 
 // Range collects [l, r] into out; see Handle.Range.
 func (m *Map[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.release(h)
 	return h.Range(l, r, out)
 }
 
-// Quiesce flushes every handle's removal buffer. The caller must ensure
-// no operations are in flight; tests use it before auditing invariants.
+// Quiesce flushes every registered handle's removal buffer and drains
+// the orphan queue. It is safe concurrent with in-flight operations
+// (buffer handoff happens under each handle's buffer lock); removals
+// that commit after Quiesce returns are, of course, not covered. Tests
+// call it before auditing invariants; servers may call it at idle
+// points to reclaim eagerly.
 func (m *Map[K, V]) Quiesce() {
 	m.mu.Lock()
 	handles := make([]*Handle[K, V], len(m.handles))
@@ -361,4 +552,5 @@ func (m *Map[K, V]) Quiesce() {
 	for _, h := range handles {
 		h.FlushRemovals()
 	}
+	m.adoptOrphans()
 }

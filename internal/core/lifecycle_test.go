@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/thashmap"
+)
+
+func newLifecycleMap(cfg Config) *Map[int64, int64] {
+	cfg.Buckets = 1021
+	return New[int64, int64](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg)
+}
+
+// TestHandleCloseDeregisters is the regression test for the unbounded
+// handle registry: handles must leave Map.handles on Close, and their
+// counters must survive in RangeStats via the retired accumulator.
+func TestHandleCloseDeregisters(t *testing.T) {
+	m := newLifecycleMap(Config{})
+	const n = 64
+	handles := make([]*Handle[int64, int64], n)
+	for i := range handles {
+		handles[i] = m.NewHandle()
+	}
+	if got := m.HandleCount(); got != n {
+		t.Fatalf("HandleCount = %d, want %d", got, n)
+	}
+	m.Insert(1, 1)
+	handles[0].Range(0, 10, nil)
+	before := m.RangeStats()
+	if before.FastCommits == 0 && before.SlowCommits == 0 {
+		t.Fatalf("range did not count: %+v", before)
+	}
+	for _, h := range handles {
+		h.Close()
+		h.Close() // idempotent
+	}
+	if got := m.HandleCount(); got != 0 {
+		t.Fatalf("HandleCount after Close = %d, want 0", got)
+	}
+	if after := m.RangeStats(); after != before {
+		t.Errorf("RangeStats changed across Close: before %+v after %+v", before, after)
+	}
+}
+
+// TestCloseRoutesBufferedRemovals checks that a closed handle's buffered
+// removals reach the orphan queue and are reclaimed by Quiesce, instead
+// of staying stitched forever as they did when Close did not exist.
+func TestCloseRoutesBufferedRemovals(t *testing.T) {
+	m := newLifecycleMap(Config{RemovalBufferSize: 64})
+	h := m.NewHandle()
+	const keys = 16 // fewer than the buffer size, so nothing auto-flushes
+	for k := int64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	for k := int64(0); k < keys; k++ {
+		h.Remove(k)
+	}
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched-live != keys {
+		t.Fatalf("backlog before Close = %d, want %d", stitched-live, keys)
+	}
+	h.Close()
+	if got := m.OrphanBacklog(); got != keys {
+		t.Fatalf("orphan queue after Close = %d, want %d", got, keys)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Fatalf("invariants after Quiesce: %v", err)
+	}
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d after Quiesce", stitched, live)
+	}
+	if s := m.MaintenanceStats(); s.Orphaned != keys || s.Adopted != keys || s.DrainedNodes != keys {
+		t.Errorf("maintenance stats = %+v, want %d orphaned/adopted/drained", s, keys)
+	}
+}
+
+// TestPooledConvenienceChurn is the leak-class regression for the
+// convenience path: heavy remove/insert churn through pooled handles —
+// with GC emptying the pools mid-run — must leave the registry empty
+// and, after quiescence, no logically-deleted node stitched. With
+// -short it still runs well past the removal buffer and orphan
+// thresholds; the full edition covers >10^6 cycles.
+func TestPooledConvenienceChurn(t *testing.T) {
+	m := newLifecycleMap(Config{})
+	goroutines := 8
+	iters := 150_000 // ~1.2M operations across goroutines
+	if testing.Short() {
+		iters = 10_000
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xc0ffee))
+			const universe = 512
+			for i := 0; i < iters; i++ {
+				k := int64(rng.Uint64() % universe)
+				if rng.Uint64()&1 == 0 {
+					m.Insert(k, k)
+				} else {
+					m.Remove(k)
+				}
+				if i%4096 == 0 {
+					runtime.GC()
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	if got := m.HandleCount(); got != 0 {
+		t.Errorf("handle registry = %d after convenience churn, want 0", got)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d: logically-deleted nodes left stitched", stitched, live)
+	}
+}
+
+// TestMaintenanceDrainsWithoutQuiesce checks the background maintainer:
+// with Config.Maintenance, orphaned removals are reclaimed without
+// anyone calling Quiesce.
+func TestMaintenanceDrainsWithoutQuiesce(t *testing.T) {
+	m := newLifecycleMap(Config{Maintenance: true, MaintenanceInterval: time.Millisecond})
+	defer m.Close()
+	const keys = 400
+	for k := int64(0); k < keys; k++ {
+		m.Insert(k, k)
+	}
+	for k := int64(0); k < keys; k++ {
+		m.Remove(k)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m.OrphanBacklog() == 0 && m.StitchedSlow() == m.SizeSlow() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("maintainer did not drain: backlog %d, stitched %d, live %d",
+				m.OrphanBacklog(), m.StitchedSlow(), m.SizeSlow())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := m.MaintenanceStats()
+	if s.Wakeups == 0 || s.DrainedNodes == 0 {
+		t.Errorf("maintainer idle: %+v", s)
+	}
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if !m.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+// TestMaintenanceNegativeInterval pins the config guard: a negative
+// interval must fall back to the default rather than panicking the
+// maintainer goroutine's time.NewTicker.
+func TestMaintenanceNegativeInterval(t *testing.T) {
+	m := newLifecycleMap(Config{Maintenance: true, MaintenanceInterval: -time.Second})
+	m.Insert(1, 1)
+	m.Remove(1)
+	m.Close()
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d after Close", stitched, live)
+	}
+}
+
+// TestQuiesceConcurrentWithOperations is the data-race regression for
+// the Quiesce/FlushRemovals footgun: flushing a handle's buffer from
+// another goroutine while the owner keeps removing must be safe (the
+// race detector guards the handoff) and must lose no node.
+func TestQuiesceConcurrentWithOperations(t *testing.T) {
+	m := newLifecycleMap(Config{RemovalBufferSize: 8})
+	h := m.NewHandle()
+	defer h.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(11, 13))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := int64(rng.Uint64() % 128)
+			if rng.Uint64()&1 == 0 {
+				h.Insert(k, k)
+			} else {
+				h.Remove(k)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		m.Quiesce()
+	}
+	close(stop)
+	wg.Wait()
+	m.Quiesce()
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d after concurrent Quiesce churn", stitched, live)
+	}
+}
+
+// TestExplicitHandleTurnover churns explicit NewHandle/Close cycles
+// across goroutines: the registry must track only live handles and the
+// final audit must find no stranded removals.
+func TestExplicitHandleTurnover(t *testing.T) {
+	m := newLifecycleMap(Config{})
+	const goroutines = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xdead))
+			for r := 0; r < rounds; r++ {
+				h := m.NewHandle()
+				const universe = 256
+				for i := 0; i < 200; i++ {
+					k := int64(rng.Uint64() % universe)
+					if rng.Uint64()&1 == 0 {
+						h.Insert(k, k)
+					} else {
+						h.Remove(k)
+					}
+				}
+				h.Close()
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	if got := m.HandleCount(); got != 0 {
+		t.Errorf("handle registry = %d after turnover, want 0", got)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(CheckOptions{}); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if stitched, live := m.StitchedSlow(), m.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d after handle turnover", stitched, live)
+	}
+}

@@ -4,10 +4,18 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/stm"
 	"repro/internal/thashmap"
 )
+
+// RemovalBufferDisabled is the explicit "no removal buffering" sentinel
+// for Config.RemovalBufferSize: every removal is routed straight to the
+// RQC (Figure 4's exact after_remove). Any negative value is treated the
+// same; the named constant exists so the intent survives code review.
+const RemovalBufferDisabled = -1
 
 // Config selects the tunables the paper's evaluation varies.
 type Config struct {
@@ -40,8 +48,24 @@ type Config struct {
 	AdaptiveSkip int
 	// RemovalBufferSize is the per-handle buffer of logically deleted
 	// nodes whose unstitching is batched (§4.5, size 32 in the paper).
-	// Zero disables buffering, yielding Figure 4's exact after_remove.
+	// Zero selects the paper's default of 32 (the zero Config is the
+	// recommended configuration); RemovalBufferDisabled (or any negative
+	// value) disables buffering, yielding Figure 4's exact after_remove.
 	RemovalBufferSize int
+	// Maintenance opts into a background maintainer goroutine per map
+	// (one per shard on the sharded frontend) that adopts orphaned
+	// removal buffers — from closed handles, pooled convenience handles,
+	// and Quiesce — and unstitches them in bounded transactional batches,
+	// keeping the level-0 chain free of stitched-but-deleted garbage on
+	// long-running servers. Without it orphans are still reclaimed, but
+	// inline by whichever operation pushes the queue past its threshold.
+	// Maps with Maintenance set must be Closed to stop the goroutine.
+	Maintenance bool
+	// MaintenanceInterval is the maintainer's periodic sweep interval
+	// (default 25ms). The maintainer is also kicked eagerly whenever a
+	// buffer is orphaned, so the interval only bounds staleness when
+	// kicks are coalesced under load.
+	MaintenanceInterval time.Duration
 	// Clock overrides the STM commit clock (default: monotonic
 	// "hardware" clock, the configuration the paper reports).
 	Clock stm.Clock
@@ -74,13 +98,16 @@ func (c Config) withDefaults() Config {
 		c.FastPathTries = 3
 	}
 	if c.RemovalBufferSize == 0 {
-		c.RemovalBufferSize = 32
+		c.RemovalBufferSize = 32 // the zero Config buffers at the paper's size
 	}
 	if c.RemovalBufferSize < 0 {
-		c.RemovalBufferSize = 0 // explicit "unbuffered" request
+		c.RemovalBufferSize = 0 // RemovalBufferDisabled: exact after_remove
 	}
 	if c.AdaptiveSkip == 0 {
 		c.AdaptiveSkip = 16
+	}
+	if c.MaintenanceInterval <= 0 {
+		c.MaintenanceInterval = 25 * time.Millisecond // non-positive would panic time.NewTicker
 	}
 	return c
 }
@@ -100,6 +127,33 @@ type Map[K comparable, V any] struct {
 	handlePool sync.Pool
 	mu         sync.Mutex
 	handles    []*Handle[K, V]
+	// retired accumulates the range-path counters of handles that left
+	// the registry (closed handles) and of pooled transient handles,
+	// banked on every release, so RangeStats never loses history.
+	retired retiredStats
+
+	// orphans is the per-map orphan queue: logically deleted nodes whose
+	// owning removal buffer went away (handle closed, pooled handle
+	// released, Quiesce handoff) and that now await batched unstitching
+	// by the maintainer or an inline drain.
+	orphanMu sync.Mutex
+	orphans  []*node[K, V]
+	// adoptMu serializes orphan adoption across the drain itself, so
+	// quiescence points can wait out an in-flight maintainer drain.
+	adoptMu sync.Mutex
+
+	maint      *maintainer[K, V]
+	maintStats maintCounters
+	closed     atomic.Bool
+}
+
+// retiredStats is RangeStats with atomic fields, aggregating counters of
+// handles no longer in the registry.
+type retiredStats struct {
+	fastAttempts atomic.Uint64
+	fastAborts   atomic.Uint64
+	fastCommits  atomic.Uint64
+	slowCommits  atomic.Uint64
 }
 
 // New creates a skip hash ordered by less and hashed by hash. It builds
@@ -137,8 +191,41 @@ func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash fu
 		m.head.next[l].Init(m.tail)
 		m.tail.prev[l].Init(m.head)
 	}
-	m.handlePool.New = func() any { return m.NewHandle() }
+	m.handlePool.New = func() any { return m.NewTransientHandle() }
+	if cfg.Maintenance {
+		m.maint = startMaintainer(m, cfg.MaintenanceInterval)
+	}
 	return m
+}
+
+// Close shuts the map down: it stops the background maintainer (when
+// Config.Maintenance enabled one), flushes every registered handle's
+// removal buffer, and drains the orphan queue, so a quiescent map holds
+// no stitched logically-deleted nodes afterwards. Close is idempotent
+// and safe to call concurrently with operations, but operations issued
+// after Close fall back to inline reclamation. Maps without maintenance
+// may skip Close; nothing leaks beyond the map itself.
+func (m *Map[K, V]) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	if m.maint != nil {
+		m.maint.stop()
+	}
+	m.Quiesce()
+}
+
+// Closed reports whether Close has been called.
+func (m *Map[K, V]) Closed() bool { return m.closed.Load() }
+
+// HandleCount returns the number of handles currently registered with
+// the map (explicitly created via NewHandle and not yet closed). Pooled
+// convenience handles are transient and never appear here; the count is
+// the leak-detection probe for handle-lifecycle tests.
+func (m *Map[K, V]) HandleCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.handles)
 }
 
 // Runtime exposes the underlying STM runtime (for stats and tests).

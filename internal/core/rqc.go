@@ -92,7 +92,11 @@ func (q *rqc[K, V]) appendDeferred(tx *stm.Tx, op *rangeOp[K, V], n *node[K, V])
 // remaining predecessor query (passed backward, guaranteeing eventual
 // reclamation) or, when op was the oldest, collected for immediate
 // unstitching. The bookkeeping is one transaction; the unstitching runs
-// as separate small transactions afterwards, exactly as in the paper.
+// afterwards in bounded batches of reclaimBatch nodes per transaction —
+// chunked, rather than the paper's one transaction per node, so a query
+// that accumulated a long deferred list does not pay a full
+// transaction's begin/commit for every single node, while each chunk
+// stays small enough to be conflict-resistant.
 func (q *rqc[K, V]) afterRange(m *Map[K, V], op *rangeOp[K, V]) {
 	var removals []*node[K, V]
 	_ = m.rt.Atomic(func(tx *stm.Tx) error {
@@ -131,13 +135,9 @@ func (q *rqc[K, V]) afterRange(m *Map[K, V], op *rangeOp[K, V]) {
 		prev.defTail.Store(tx, &prev.orec, tail)
 		return nil
 	})
-	for _, n := range removals {
-		nd := n
-		_ = m.rt.Atomic(func(tx *stm.Tx) error {
-			m.unstitchTx(tx, nd)
-			return nil
-		})
-	}
+	// op was the oldest in-flight query, so no remaining query can need
+	// these nodes; unstitch unconditionally (consultTail false).
+	m.reclaimBatches(removals, false)
 }
 
 // tailOp returns the most recent in-flight slow-path range query, or nil.

@@ -40,7 +40,7 @@ func (h *Handle[K, V]) Bind(tx *stm.Tx) *Txn[K, V] {
 // Atomic runs fn as one transaction using a pooled handle.
 func (m *Map[K, V]) Atomic(fn func(op *Txn[K, V]) error) error {
 	h := m.borrow()
-	defer m.handlePool.Put(h)
+	defer m.release(h)
 	return h.Atomic(fn)
 }
 

@@ -8,6 +8,7 @@ package maptest
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -45,6 +46,17 @@ type Checkable interface {
 	CheckQuiescent() error
 }
 
+// Lifecycle is implemented by maps with a handle registry and explicit
+// teardown (the skip hash variants); the suite's handle-churn component
+// uses it to assert the registry stays bounded under convenience-path
+// traffic and that teardown leaves no deferred-reclamation garbage.
+type Lifecycle interface {
+	// HandleCount reports how many handles are currently registered.
+	HandleCount() int
+	// Close tears the map down, flushing all deferred reclamation.
+	Close()
+}
+
 // Factory builds a fresh empty map for one test.
 type Factory func() OrderedMap
 
@@ -60,6 +72,63 @@ func RunAll(t *testing.T, newMap Factory) {
 	t.Run("RangeSanity", func(t *testing.T) { RunRangeSanity(t, newMap) })
 	t.Run("RangeCountBound", func(t *testing.T) { RunRangeCountBound(t, newMap) })
 	t.Run("Linearizability", func(t *testing.T) { RunLinearizability(t, newMap) })
+	t.Run("HandleChurn", func(t *testing.T) { RunHandleChurn(t, newMap) })
+}
+
+// RunHandleChurn is the regression suite for the handle-lifecycle leak
+// class: goroutines churn insert/remove through the map's convenience
+// methods (the pooled-handle path), with GC cycles recycling the pools
+// mid-run. Afterwards the handle registry must not have grown with the
+// operation count, and a quiescent audit must find no logically-deleted
+// node still stitched (CheckQuiescent runs the map's invariant check
+// with AllowDeleted false). Requires Lifecycle.
+func RunHandleChurn(t *testing.T, newMap Factory) {
+	m := newMap()
+	lc, ok := m.(Lifecycle)
+	if !ok {
+		t.Skip("map does not implement Lifecycle")
+	}
+	const goroutines = 8
+	const iters = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0x10fe))
+			const universe = 256
+			for i := 0; i < iters; i++ {
+				k := int64(rng.Uint64() % universe)
+				switch rng.Uint64() % 4 {
+				case 0, 1:
+					m.Insert(k, k)
+				case 2:
+					m.Remove(k)
+				case 3:
+					m.Lookup(k)
+				}
+				if i%1024 == 0 {
+					// Empty the handle pools mid-churn: handles the pool
+					// drops must neither linger in the registry nor
+					// strand their buffered removals.
+					runtime.GC()
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	// Convenience traffic uses transient pooled handles only, so the
+	// registry must stay empty no matter how many operations ran.
+	if n := lc.HandleCount(); n != 0 {
+		t.Errorf("handle registry holds %d handles after convenience-only churn, want 0", n)
+	}
+	checkQuiescent(t, m)
+	lc.Close()
+	if c, ok := m.(Checkable); ok {
+		if err := c.CheckQuiescent(); err != nil {
+			t.Errorf("quiescent invariant check after Close: %v", err)
+		}
+	}
 }
 
 // RunPointQueryModel replays random updates and checks every point query

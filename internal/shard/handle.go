@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/stm"
 )
@@ -9,7 +11,10 @@ import (
 // core.Handle per shard (each with its own search scratch and removal
 // buffer), the per-shard segment buffers the k-way merge reuses, and
 // the shard-level range-path counters. A Handle must not be used
-// concurrently; create one per worker with Sharded.NewHandle.
+// concurrently; create one per worker with Sharded.NewHandle and Close
+// it when the worker is done, so the handle (and its per-shard
+// sub-handles) leave the registries and any buffered removals reach the
+// shards' orphan queues.
 type Handle[K comparable, V any] struct {
 	s     *Sharded[K, V]
 	hs    []*core.Handle[K, V]
@@ -20,10 +25,17 @@ type Handle[K comparable, V any] struct {
 	// path under Config.Adaptive (shared mode only; isolated shards run
 	// their own adaptive policy inside core).
 	adaptSkip int
+	// registered records membership in Sharded.handles; pooled transient
+	// handles bank their counters on release instead. It is written only
+	// at construction. closed is atomic so concurrent Close calls (a
+	// worker's deferred Close racing a teardown sweep) are safe, matching
+	// the core handle's contract.
+	registered bool
+	closed     atomic.Bool
 }
 
-// NewHandle creates a handle bound to s and registers it for stats
-// aggregation.
+// NewHandle creates a handle bound to s and registers it — and its
+// per-shard sub-handles — for stats aggregation.
 func (s *Sharded[K, V]) NewHandle() *Handle[K, V] {
 	h := &Handle[K, V]{
 		s:     s,
@@ -34,16 +46,105 @@ func (s *Sharded[K, V]) NewHandle() *Handle[K, V] {
 	for i, m := range s.shards {
 		h.hs[i] = m.NewHandle()
 	}
+	h.registered = true
 	s.mu.Lock()
 	s.handles = append(s.handles, h)
 	s.mu.Unlock()
 	return h
 }
 
+// NewTransientHandle creates a handle that is tracked by no registry —
+// neither the sharded map's nor any shard's. Its counters and buffered
+// removals only reach the map when Recycle or Close banks them; the
+// pooled convenience paths are built on transient handles so pool churn
+// cannot grow the registries or strand removals. Explicit workers
+// normally want NewHandle instead.
+func (s *Sharded[K, V]) NewTransientHandle() *Handle[K, V] {
+	h := &Handle[K, V]{
+		s:     s,
+		hs:    make([]*core.Handle[K, V], len(s.shards)),
+		segs:  make([][]Pair[K, V], len(s.shards)),
+		heads: make([]int, len(s.shards)),
+	}
+	for i, m := range s.shards {
+		h.hs[i] = m.NewTransientHandle()
+	}
+	return h
+}
+
 // Sharded returns the map this handle operates on.
 func (h *Handle[K, V]) Sharded() *Sharded[K, V] { return h.s }
 
-// FlushRemovals drains the removal buffers of every per-shard handle.
+// Close retires the handle: every per-shard sub-handle is closed (its
+// buffered removals reach that shard's orphan queue), the shard-level
+// counters are banked, and — for handles created with NewHandle — the
+// handle leaves the registry. Close is idempotent; the owning goroutine
+// must issue no further operations through the handle.
+func (h *Handle[K, V]) Close() {
+	if h.closed.Swap(true) {
+		return
+	}
+	for _, ch := range h.hs {
+		ch.Close()
+	}
+	h.bankStats()
+	if !h.registered {
+		return
+	}
+	s := h.s
+	s.mu.Lock()
+	for i, other := range s.handles {
+		if other == h {
+			last := len(s.handles) - 1
+			s.handles[i] = s.handles[last]
+			s.handles[last] = nil
+			s.handles = s.handles[:last]
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Recycle banks the handle's counters and hands every sub-handle's
+// buffered removals to its shard's orphan queue while leaving the
+// handle usable; the pooled convenience paths call it on every release.
+// Clean sub-handles (every shard a point op did not touch) recycle with
+// a few atomic loads and no lock, so the per-release cost does not grow
+// into O(shards) mutex acquisitions.
+func (h *Handle[K, V]) Recycle() {
+	for _, ch := range h.hs {
+		ch.Recycle()
+	}
+	h.bankStats()
+}
+
+// bankStats moves the shard-level counters into the map's retired
+// accumulator under s.mu — the mutex RangeStats aggregates under — so a
+// snapshot can never catch a value on both sides of the move; exactly
+// the core handle's protocol (see core.Handle.bankStats).
+func (h *Handle[K, V]) bankStats() {
+	st := &h.stats
+	if st.RangeFastAttempts.Load()|st.RangeFastAborts.Load()|
+		st.RangeFastCommits.Load()|st.RangeSlowCommits.Load() == 0 {
+		return // nothing to move; skipping the lock cannot affect a snapshot
+	}
+	bank := func(c *atomic.Uint64, r *atomic.Uint64) {
+		if v := c.Load(); v != 0 {
+			r.Add(v)
+			c.Store(0) // owner-exclusive writer, so no increments are lost
+		}
+	}
+	s := h.s
+	s.mu.Lock()
+	bank(&st.RangeFastAttempts, &s.retired.RangeFastAttempts)
+	bank(&st.RangeFastAborts, &s.retired.RangeFastAborts)
+	bank(&st.RangeFastCommits, &s.retired.RangeFastCommits)
+	bank(&st.RangeSlowCommits, &s.retired.RangeSlowCommits)
+	s.mu.Unlock()
+}
+
+// FlushRemovals drains the removal buffers of every per-shard handle in
+// bounded batches; safe concurrent with the owner's operations.
 func (h *Handle[K, V]) FlushRemovals() {
 	for _, ch := range h.hs {
 		ch.FlushRemovals()

@@ -43,6 +43,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stm"
@@ -69,6 +70,10 @@ type Sharded[K comparable, V any] struct {
 	handlePool sync.Pool
 	mu         sync.Mutex
 	handles    []*Handle[K, V]
+	// retired accumulates shard-level range counters of handles that
+	// left the registry (closed handles, released pooled handles).
+	retired core.HandleStats
+	closed  atomic.Bool
 }
 
 // normalizeShards clamps a requested shard count to a power of two in
@@ -142,8 +147,60 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg c
 			s.shards[i] = core.NewIn[K, V](s.rt, less, hash, per)
 		}
 	}
-	s.handlePool.New = func() any { return s.NewHandle() }
+	s.handlePool.New = func() any { return s.NewTransientHandle() }
 	return s
+}
+
+// Close shuts every shard down: per-shard maintainers stop, registered
+// handles' removal buffers flush, and the orphan queues drain, so a
+// quiescent map holds no stitched logically-deleted nodes afterwards.
+// Close is idempotent; operations issued after Close fall back to
+// inline reclamation.
+func (s *Sharded[K, V]) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, m := range s.shards {
+		m.Close()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (s *Sharded[K, V]) Closed() bool { return s.closed.Load() }
+
+// HandleCount returns the number of handles registered across the map:
+// the sharded map's own registry plus every shard's (an explicit
+// sharded handle contributes 1 + NumShards entries). Pooled convenience
+// handles are transient and never counted; the count is the
+// leak-detection probe for handle-lifecycle tests.
+func (s *Sharded[K, V]) HandleCount() int {
+	s.mu.Lock()
+	n := len(s.handles)
+	s.mu.Unlock()
+	for _, m := range s.shards {
+		n += m.HandleCount()
+	}
+	return n
+}
+
+// MaintenanceStats aggregates the reclamation counters of every shard.
+func (s *Sharded[K, V]) MaintenanceStats() core.MaintenanceStats {
+	var agg core.MaintenanceStats
+	for _, m := range s.shards {
+		agg = agg.Add(m.MaintenanceStats())
+	}
+	return agg
+}
+
+// StitchedSlow counts all stitched nodes across shards, including
+// logically deleted ones, without transactional protection; with
+// SizeSlow it measures the deferred-reclamation backlog.
+func (s *Sharded[K, V]) StitchedSlow() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.StitchedSlow()
+	}
+	return n
 }
 
 // shardOf maps a key to its shard. An extra multiplicative mix protects
@@ -184,20 +241,26 @@ func (s *Sharded[K, V]) STMStats() stm.Stats {
 }
 
 // RangeStats aggregates range-path counters: the shard-level fast/slow
-// counters of this map's handles (cross-shard ranges in shared mode)
-// plus each shard's own counters (per-shard ranges in isolated mode).
+// counters of this map's registered handles plus the retired
+// accumulator (cross-shard ranges in shared mode), plus each shard's
+// own counters (per-shard ranges in isolated mode). The shard-level sum
+// runs under s.mu — the mutex bankStats moves counters under — so
+// snapshots are exact with respect to banking and successive snapshots
+// never decrease.
 func (s *Sharded[K, V]) RangeStats() core.RangeStats {
-	s.mu.Lock()
-	handles := make([]*Handle[K, V], len(s.handles))
-	copy(handles, s.handles)
-	s.mu.Unlock()
 	var agg core.RangeStats
-	for _, h := range handles {
+	s.mu.Lock()
+	for _, h := range s.handles {
 		agg.FastAttempts += h.stats.RangeFastAttempts.Load()
 		agg.FastAborts += h.stats.RangeFastAborts.Load()
 		agg.FastCommits += h.stats.RangeFastCommits.Load()
 		agg.SlowCommits += h.stats.RangeSlowCommits.Load()
 	}
+	agg.FastAttempts += s.retired.RangeFastAttempts.Load()
+	agg.FastAborts += s.retired.RangeFastAborts.Load()
+	agg.FastCommits += s.retired.RangeFastCommits.Load()
+	agg.SlowCommits += s.retired.RangeSlowCommits.Load()
+	s.mu.Unlock()
 	for _, m := range s.shards {
 		st := m.RangeStats()
 		agg.FastAttempts += st.FastAttempts
@@ -208,8 +271,10 @@ func (s *Sharded[K, V]) RangeStats() core.RangeStats {
 	return agg
 }
 
-// Quiesce flushes every handle's removal buffers on every shard. The
-// caller must ensure no operations are in flight.
+// Quiesce flushes every registered handle's removal buffers and drains
+// the orphan queue on every shard. Safe concurrent with in-flight
+// operations; removals that commit after Quiesce returns are not
+// covered.
 func (s *Sharded[K, V]) Quiesce() {
 	for _, m := range s.shards {
 		m.Quiesce()
@@ -243,36 +308,50 @@ func (s *Sharded[K, V]) SizeSlow() int {
 	return n
 }
 
-// Convenience methods on Sharded borrow a pooled handle, mirroring
-// core.Map's ergonomic entry points.
+// Convenience methods on Sharded borrow a pooled transient handle,
+// mirroring core.Map's ergonomic entry points. Every release recycles
+// the handle — counters banked, buffered removals handed to the shards'
+// orphan queues — so pool churn cannot strand state.
 
 func (s *Sharded[K, V]) borrow() *Handle[K, V] { return s.handlePool.Get().(*Handle[K, V]) }
+
+func (s *Sharded[K, V]) release(h *Handle[K, V]) {
+	h.Recycle()
+	s.handlePool.Put(h)
+}
+
+// releaseClean returns a borrowed handle without the recycle pass; only
+// for operations that can neither buffer a removal nor touch a
+// range-path counter on any shard (lookups, inserts, point queries).
+// Dirty paths always release through release(), so a pooled handle's
+// sub-buffers are empty by invariant.
+func (s *Sharded[K, V]) releaseClean(h *Handle[K, V]) { s.handlePool.Put(h) }
 
 // Lookup returns the value associated with k.
 func (s *Sharded[K, V]) Lookup(k K) (V, bool) {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Lookup(k)
 }
 
 // Contains reports whether k is present.
 func (s *Sharded[K, V]) Contains(k K) bool {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Contains(k)
 }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (s *Sharded[K, V]) Insert(k K, v V) bool {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Insert(k, v)
 }
 
 // Remove deletes k and reports whether it was present.
 func (s *Sharded[K, V]) Remove(k K) bool {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.release(h)
 	return h.Remove(k)
 }
 
@@ -280,42 +359,42 @@ func (s *Sharded[K, V]) Remove(k K) bool {
 // was replaced.
 func (s *Sharded[K, V]) Put(k K, v V) bool {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.release(h)
 	return h.Put(k, v)
 }
 
 // Ceil returns the smallest key >= k and its value.
 func (s *Sharded[K, V]) Ceil(k K) (K, V, bool) {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Ceil(k)
 }
 
 // Succ returns the smallest key > k and its value.
 func (s *Sharded[K, V]) Succ(k K) (K, V, bool) {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Succ(k)
 }
 
 // Floor returns the largest key <= k and its value.
 func (s *Sharded[K, V]) Floor(k K) (K, V, bool) {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Floor(k)
 }
 
 // Pred returns the largest key < k and its value.
 func (s *Sharded[K, V]) Pred(k K) (K, V, bool) {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.releaseClean(h)
 	return h.Pred(k)
 }
 
 // Range collects [l, r] into out; see Handle.Range.
 func (s *Sharded[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.release(h)
 	return h.Range(l, r, out)
 }
 
@@ -323,6 +402,6 @@ func (s *Sharded[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 // Handle.Atomic for the cross-shard contract.
 func (s *Sharded[K, V]) Atomic(fn func(op *Txn[K, V]) error) error {
 	h := s.borrow()
-	defer s.handlePool.Put(h)
+	defer s.release(h)
 	return h.Atomic(fn)
 }

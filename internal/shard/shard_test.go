@@ -46,6 +46,10 @@ func (a adapter) CheckQuiescent() error {
 	return a.s.CheckInvariants(core.CheckOptions{})
 }
 
+// HandleCount/Close expose the handle lifecycle to the churn component.
+func (a adapter) HandleCount() int { return a.s.HandleCount() }
+func (a adapter) Close()           { a.s.Close() }
+
 // Batch applies steps as one Atomic batch. In isolated mode a batch
 // whose keys span shards is rejected with ErrCrossShard and rolled
 // back, which Batch reports as not-applied.
@@ -418,5 +422,62 @@ func TestShardPlacement(t *testing.T) {
 	}
 	if got := s.SizeSlow(); got != 4096 {
 		t.Errorf("SizeSlow = %d, want 4096", got)
+	}
+}
+
+// TestShardedHandleLifecycle churns explicit and pooled handles on a
+// sharded map with background maintenance: the registries (frontend and
+// per-shard) must track only live handles, and teardown must leave no
+// logically-deleted node stitched on any shard.
+func TestShardedHandleLifecycle(t *testing.T) {
+	s := newInt64(core.Config{Shards: 4, Buckets: 4096, Maintenance: true})
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xfeedbeef))
+			for r := 0; r < 20; r++ {
+				h := s.NewHandle()
+				for i := 0; i < 150; i++ {
+					k := int64(rng.Uint64() % 512)
+					if rng.Uint64()&1 == 0 {
+						h.Insert(k, k)
+					} else {
+						h.Remove(k)
+					}
+				}
+				h.Close()
+				// Convenience path between handle generations.
+				for i := 0; i < 150; i++ {
+					k := int64(rng.Uint64() % 512)
+					if rng.Uint64()&1 == 0 {
+						s.Insert(k, k)
+					} else {
+						s.Remove(k)
+					}
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	if got := s.HandleCount(); got != 0 {
+		t.Errorf("handle registries hold %d entries after churn, want 0", got)
+	}
+	s.Quiesce()
+	if err := s.CheckInvariants(core.CheckOptions{}); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if stitched, live := s.StitchedSlow(), s.SizeSlow(); stitched != live {
+		t.Errorf("stitched %d != live %d after churn", stitched, live)
+	}
+	if ms := s.MaintenanceStats(); ms.Orphaned == 0 || ms.DrainedNodes == 0 {
+		t.Errorf("maintenance subsystem idle: %+v", ms)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if !s.Closed() {
+		t.Error("Closed() = false after Close")
 	}
 }

@@ -28,9 +28,11 @@
 //	v, ok := m.Lookup(42)
 //	pairs := m.Range(10, 100, nil)
 //
-// Hot paths should give each goroutine its own Handle:
+// Hot paths should give each goroutine its own Handle, closed when the
+// worker is done:
 //
 //	h := m.NewHandle()
+//	defer h.Close()
 //	h.Insert(1, 10)
 //
 // Because the map is STM-based, multi-key atomicity comes for free:
@@ -62,6 +64,21 @@
 // distinct instants, and an Atomic batch must stay within one shard; a
 // batch whose keys span shards fails with ErrCrossShard rather than
 // silently losing atomicity.
+//
+// # Handle lifecycle and maintenance
+//
+// Removals defer their physical unstitching through per-handle buffers
+// (§4.5 of the paper); the lifecycle subsystem guarantees those nodes
+// are reclaimed no matter what happens to the handle. Close a Handle
+// when its goroutine exits: the handle leaves the stats registry and
+// its buffered removals move to the map's orphan queue. The pooled
+// handles behind the convenience methods do this automatically on every
+// call. Orphaned nodes are unstitched in bounded transactional batches
+// — by a background maintainer goroutine when Config.Maintenance is
+// set (recommended for long-running servers; observe it through
+// Map.MaintenanceStats), or inline once the queue crosses a threshold
+// otherwise. Map.Close / Sharded.Close stops the maintainer and flushes
+// everything; maps with Maintenance set must be closed.
 package skiphash
 
 import (
@@ -97,6 +114,16 @@ type CheckOptions = core.CheckOptions
 // RangeStats aggregates range-query path counters (fast attempts/aborts
 // and per-path completions) across a Map's handles.
 type RangeStats = core.RangeStats
+
+// MaintenanceStats counts the reclamation subsystem's work: orphaned and
+// adopted buffer nodes, drained nodes and batches, and maintainer
+// wakeups. See Map.MaintenanceStats / Sharded.MaintenanceStats.
+type MaintenanceStats = core.MaintenanceStats
+
+// RemovalBufferDisabled is the explicit "no removal buffering" sentinel
+// for Config.RemovalBufferSize (a zero value keeps the paper's default
+// buffer of 32).
+const RemovalBufferDisabled = core.RemovalBufferDisabled
 
 // New creates a skip hash for any key type: less supplies the ordering,
 // hash the distribution over buckets.

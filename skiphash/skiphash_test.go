@@ -38,6 +38,10 @@ func (a adapter) CheckQuiescent() error {
 	return a.m.CheckInvariants(skiphash.CheckOptions{})
 }
 
+// HandleCount/Close expose the handle lifecycle to the churn component.
+func (a adapter) HandleCount() int { return a.m.HandleCount() }
+func (a adapter) Close()           { a.m.Close() }
+
 // Batch applies steps as one Atomic transaction; the body tolerates
 // re-execution because each attempt overwrites the step outputs.
 func (a adapter) Batch(steps []linearize.Step) bool {
@@ -166,6 +170,10 @@ func (a shardedAdapter) CheckQuiescent() error {
 	a.s.Quiesce()
 	return a.s.CheckInvariants(skiphash.CheckOptions{})
 }
+
+// HandleCount/Close expose the handle lifecycle to the churn component.
+func (a shardedAdapter) HandleCount() int { return a.s.HandleCount() }
+func (a shardedAdapter) Close()           { a.s.Close() }
 
 // Batch applies steps as one cross-shard Atomic transaction.
 func (a shardedAdapter) Batch(steps []linearize.Step) bool {
