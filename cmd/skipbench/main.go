@@ -9,6 +9,7 @@
 //	skipbench table1           # Table 1: fast-path aborts per query
 //	skipbench shards           # shard-count sweep of the sharded variant
 //	skipbench churn            # handle-churn windows: range throughput over time
+//	skipbench persist          # durability overhead: WAL off vs fsync policies
 //	skipbench all              # everything
 //
 // Flags:
@@ -21,6 +22,8 @@
 //	-json file    write per-workload throughput/abort-rate rows as JSON
 //	-quick        smoke-test mode (200ms trials, 2^16 universe)
 //	-windows n    measurement windows for the churn experiment (default 6)
+//	-dir path     base directory for the persist experiment's WAL dirs
+//	              (default: a temp dir, removed afterwards)
 //	-seed n       base seed for prefill and worker RNG streams (default 0,
 //	              the historical streams); a fixed seed makes prefill and
 //	              workload key sequences reproducible across runs
@@ -55,6 +58,7 @@ func main() {
 		quick    = fs.Bool("quick", false, "smoke-test mode")
 		seed     = fs.Uint64("seed", 0, "base seed for prefill and worker RNG streams")
 		windows  = fs.Int("windows", 6, "measurement windows for the churn experiment")
+		dir      = fs.String("dir", "", "base directory for the persist experiment's WAL dirs")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -106,6 +110,8 @@ func main() {
 		err = bench.Shards(os.Stdout, opts)
 	case "churn":
 		err = bench.Churn(os.Stdout, *windows, opts)
+	case "persist":
+		err = bench.Persist(os.Stdout, *dir, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -127,6 +133,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Churn(os.Stdout, *windows, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Persist(os.Stdout, *dir, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -176,7 +186,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

@@ -18,13 +18,23 @@
 // stays bounded and a quiesced level-0 walk holds no logically-deleted
 // stitched node.
 //
+// With -crash it runs the durability stress: -cycles kill/recover
+// rounds against one durability directory, alternating (a) concurrent
+// FsyncAlways rounds killed at a random operation count and audited for
+// exact equality against a shadow model (acknowledged operations may
+// never be lost), and (b) single-writer FsyncNone rounds killed with a
+// torn WAL tail and audited for exact-prefix recovery (the recovered
+// state must equal the shadow after some prefix of the round's
+// operations, no shorter than the last explicit Sync). Any divergence
+// exits 1 with a reproducer line.
+//
 // All randomness derives from -seed, so any reported failure can be
 // replayed by re-running with the printed flags.
 //
 // Usage:
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
-//	           [-shards n] [-isolated] [-seed n] [-check] [-churn]
+//	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
 package main
 
 import (
@@ -84,12 +94,25 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for all workload randomness")
 		check    = flag.Bool("check", false, "record histories and verify linearizability online")
 		churn    = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
+		crash    = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
+		cycles   = flag.Int("cycles", 60, "kill/recover cycles for -crash")
+		dir      = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
 	)
 	flag.Parse()
 
-	if *check && *churn {
-		fmt.Fprintln(os.Stderr, "skipstress: -check and -churn are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*check, *churn, *crash} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn and -crash are mutually exclusive")
 		os.Exit(2)
+	}
+	if *crash {
+		runCrash(*cycles, *threads, *universe, *seed, *dir)
+		return
 	}
 	cfg := skiphash.Config{}
 	if *churn {

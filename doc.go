@@ -2,11 +2,16 @@
 // Ordered Map Via Software Transactional Memory" (Rodriguez, Aksenov,
 // Spear). The public API lives in repro/skiphash — including the
 // sharded variant that partitions the map across independent skip-hash
-// shards, and the handle-lifecycle subsystem (Handle.Close, orphan
+// shards, the handle-lifecycle subsystem (Handle.Close, orphan
 // queues, the Config.Maintenance background maintainer) that keeps the
 // paper's deferred removal buffers from stranding stitched nodes on
-// long-running servers. The experiment drivers in cmd/skipbench
-// regenerate every figure and table of the paper's evaluation plus the
-// shard sweep and the handle-churn series. See README.md for the
-// package map and quickstart.
+// long-running servers, and the durability subsystem (Config.Durability
+// plus the Open constructors): a write-ahead log of logical operations
+// ordered by the STM's commit stamps, clock-consistent background
+// snapshots, and crash recovery with torn-tail tolerance and checksum
+// rejection. The experiment drivers in cmd/skipbench regenerate every
+// figure and table of the paper's evaluation plus the shard sweep, the
+// handle-churn series, and the durability-overhead table; cmd/skipstress
+// -crash audits kill/recover cycles against a shadow model. See
+// README.md for the package map and quickstart.
 package repro

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"sync"
 
 	"repro/internal/stm"
@@ -10,11 +11,37 @@ import (
 	"repro/skiphash"
 )
 
+// Env describes the machine a report was recorded on, so BENCH_*.json
+// trajectories are comparable (or knowingly incomparable) across
+// machines and toolchains.
+type Env struct {
+	// GoVersion is runtime.Version() of the recording binary.
+	GoVersion string `json:"go_version"`
+	// GOOS/GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS is the scheduler parallelism during the run; NumCPU the
+	// machine's logical CPU count.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+// CurrentEnv samples the recording environment.
+func CurrentEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 // Row is one machine-readable data point of an experiment run, written
 // by the -json flag of cmd/skipbench for the perf trajectory.
 type Row struct {
 	// Experiment identifies the driver: "fig5a".."fig5f", "fig6",
-	// "table1", or "shards".
+	// "table1", "shards", "churn", or "persist".
 	Experiment string `json:"experiment"`
 	// Workload is the operation mix's human name, when applicable.
 	Workload string `json:"workload,omitempty"`
@@ -54,6 +81,13 @@ type Row struct {
 	Backlog *int    `json:"backlog,omitempty"`
 	Handles *int    `json:"handles,omitempty"`
 	Drained *uint64 `json:"drained,omitempty"`
+	// Fsync names the persist experiment's durability policy ("off",
+	// "none", "interval", "always"); WalMB is the WAL volume the trial
+	// appended and OverheadPct the throughput cost versus the
+	// durability-off baseline of the same workload.
+	Fsync       string  `json:"fsync,omitempty"`
+	WalMB       float64 `json:"wal_mb,omitempty"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // Report collects Rows across experiments; it is safe for concurrent
@@ -82,11 +116,15 @@ func (r *Report) Rows() []Row {
 	return out
 }
 
-// WriteJSON writes the collected rows as an indented JSON array.
+// WriteJSON writes the report as an indented JSON object: the recording
+// environment header followed by the rows.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Rows())
+	return enc.Encode(struct {
+		Env  Env   `json:"env"`
+		Rows []Row `json:"rows"`
+	}{Env: CurrentEnv(), Rows: r.Rows()})
 }
 
 // fillSubjectStats decorates row with the subject's identity (the

@@ -257,3 +257,93 @@ func TestExplicitHandleTurnover(t *testing.T) {
 		t.Errorf("stitched %d != live %d after handle turnover", stitched, live)
 	}
 }
+
+// closeRaceProbe is a Persister stub that records Close calls and how
+// they interleave, standing in for the durability engine whose
+// flush-on-Close makes the Close contract load-bearing.
+type closeRaceProbe struct {
+	mu     sync.Mutex
+	closes int
+	inside bool
+}
+
+func (p *closeRaceProbe) Snapshot() error { return nil }
+func (p *closeRaceProbe) Sync() error     { return nil }
+func (p *closeRaceProbe) Err() error      { return nil }
+func (p *closeRaceProbe) SimulateCrash() error {
+	return nil
+}
+func (p *closeRaceProbe) Close() error {
+	p.mu.Lock()
+	if p.inside {
+		p.mu.Unlock()
+		panic("Persister.Close entered concurrently")
+	}
+	p.inside = true
+	p.closes++
+	p.mu.Unlock()
+	time.Sleep(2 * time.Millisecond) // widen the race window
+	p.mu.Lock()
+	p.inside = false
+	p.mu.Unlock()
+	return nil
+}
+
+// TestCloseIdempotentConcurrentWithQuiesce is the regression test for
+// the Close contract durability relies on: concurrent Close calls,
+// racing Quiesce calls and in-flight operations must all return only
+// after teardown completed, the underlying Persister must be closed
+// exactly once, and no call may observe a partially torn-down map.
+func TestCloseIdempotentConcurrentWithQuiesce(t *testing.T) {
+	for _, maint := range []bool{false, true} {
+		m := newLifecycleMap(Config{Maintenance: maint, RemovalBufferSize: 8})
+		probe := &closeRaceProbe{}
+		m.AttachPersistence(nil, probe)
+		for k := int64(0); k < 256; k++ {
+			m.Insert(k, k)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				m.Close()
+				if !m.Closed() {
+					t.Error("Close returned with Closed() == false")
+				}
+				if probe.closes != 1 {
+					t.Errorf("Close returned before the persister flush: closes=%d", probe.closes)
+				}
+			}()
+		}
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				m.Quiesce()
+			}()
+		}
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(base int64) {
+				defer wg.Done()
+				<-start
+				for k := base; k < base+64; k++ {
+					m.Remove(k % 256)
+				}
+			}(int64(i) * 64)
+		}
+		close(start)
+		wg.Wait()
+		if probe.closes != 1 {
+			t.Fatalf("persister closed %d times, want exactly 1", probe.closes)
+		}
+		m.Close() // still idempotent afterwards
+		if probe.closes != 1 {
+			t.Fatalf("late Close re-closed the persister: %d", probe.closes)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"math/bits"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/stm"
 	"repro/internal/thashmap"
 )
@@ -85,6 +87,13 @@ type Config struct {
 	// iterators, point queries, Atomic) weaken as documented on
 	// shard.Sharded. A single map ignores it.
 	IsolatedShards bool
+	// Durability, when non-nil, makes the map durable: committed
+	// insert/remove/batch operations are written to a commit-stamp-
+	// ordered write-ahead log in Durability.Dir, background snapshots
+	// bound its replay length, and skiphash.Open recovers the map from
+	// that directory. The field is consumed by the Open constructors;
+	// New/NewIn ignore it (they cannot recover — recovery needs codecs).
+	Durability *persist.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +154,48 @@ type Map[K comparable, V any] struct {
 	maint      *maintainer[K, V]
 	maintStats maintCounters
 	closed     atomic.Bool
+	// closeDone lets concurrent Close calls (and anyone who must know
+	// teardown finished) wait for the one closing goroutine; with
+	// durability attached, "Close returned" must mean "flushed".
+	closeDone chan struct{}
+
+	// logger and persist are the durability hooks (AttachPersistence):
+	// logger captures committed logical operations into the WAL, persist
+	// drives snapshots, syncs and shutdown. Both nil on non-durable maps.
+	logger  OpLogger[K, V]
+	persist Persister
 }
+
+// OpLogger observes the logical effect of committed transactions: every
+// state-changing insert is reported as a put and every state-changing
+// removal as a delete, from inside the transaction body. Implementations
+// (persist.Store) buffer per attempt and emit on commit, so an aborted
+// attempt reports nothing.
+type OpLogger[K comparable, V any] interface {
+	LogPut(tx *stm.Tx, k K, v V)
+	LogDel(tx *stm.Tx, k K)
+}
+
+// Persister is the non-generic face of the durability engine a map
+// delegates lifecycle operations to; persist.Store implements it.
+type Persister interface {
+	// Snapshot writes a full snapshot now and truncates covered WAL
+	// segments.
+	Snapshot() error
+	// Sync forces all logged operations to durable storage.
+	Sync() error
+	// Close flushes and fsyncs the log and closes the files.
+	Close() error
+	// SimulateCrash abandons the engine as a process crash would:
+	// unflushed records are lost and nothing more is logged.
+	SimulateCrash() error
+	// Err reports the sticky background I/O error, if any.
+	Err() error
+}
+
+// ErrNotDurable is returned by durability operations on a map that was
+// not opened with persistence attached.
+var ErrNotDurable = errors.New("core: map has no durability attached")
 
 // retiredStats is RangeStats with atomic fields, aggregating counters of
 // handles no longer in the registry.
@@ -178,9 +228,10 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg C
 func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash func(K) uint64, cfg Config) *Map[K, V] {
 	cfg = cfg.withDefaults()
 	m := &Map[K, V]{
-		rt:   rt,
-		less: less,
-		cfg:  cfg,
+		rt:        rt,
+		less:      less,
+		cfg:       cfg,
+		closeDone: make(chan struct{}),
 	}
 	m.index = thashmap.NewPtr[K, node[K, V]](rt, hash, cfg.Buckets)
 	m.head = newNode[K, V](cfg.MaxLevel)
@@ -200,19 +251,29 @@ func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash fu
 
 // Close shuts the map down: it stops the background maintainer (when
 // Config.Maintenance enabled one), flushes every registered handle's
-// removal buffer, and drains the orphan queue, so a quiescent map holds
-// no stitched logically-deleted nodes afterwards. Close is idempotent
-// and safe to call concurrently with operations, but operations issued
-// after Close fall back to inline reclamation. Maps without maintenance
-// may skip Close; nothing leaks beyond the map itself.
+// removal buffer, drains the orphan queue — so a quiescent map holds no
+// stitched logically-deleted nodes afterwards — and, on durable maps,
+// flushes and fsyncs the write-ahead log before closing its files.
+// Close is idempotent and safe to call concurrently with operations,
+// with Quiesce, and with other Close calls: every call returns only
+// after teardown (including the durability flush) has completed, no
+// matter which call performed it. Operations issued after Close fall
+// back to inline reclamation and are no longer logged. Maps without
+// maintenance or durability may skip Close; nothing leaks beyond the
+// map itself.
 func (m *Map[K, V]) Close() {
 	if m.closed.Swap(true) {
+		<-m.closeDone
 		return
 	}
+	defer close(m.closeDone)
 	if m.maint != nil {
 		m.maint.stop()
 	}
 	m.Quiesce()
+	if m.persist != nil {
+		m.persist.Close()
+	}
 }
 
 // Closed reports whether Close has been called.
@@ -234,6 +295,49 @@ func (m *Map[K, V]) Runtime() *stm.Runtime { return m.rt }
 // Config returns the configuration the map was built with (with defaults
 // applied).
 func (m *Map[K, V]) Config() Config { return m.cfg }
+
+// AttachPersistence wires the durability hooks: l observes every
+// committed logical operation from this point on, and p (which may be
+// nil when a frontend — the sharded map — owns the engine) receives
+// Snapshot/Sync/Close. It must be called before the map is shared —
+// recovery loads happen before attachment precisely so they are not
+// re-logged.
+func (m *Map[K, V]) AttachPersistence(l OpLogger[K, V], p Persister) {
+	m.logger = l
+	m.persist = p
+}
+
+// Persister returns the attached durability engine, or nil.
+func (m *Map[K, V]) Persister() Persister { return m.persist }
+
+// Snapshot writes a durable snapshot of the map now (and truncates the
+// WAL segments it covers). ErrNotDurable without persistence.
+func (m *Map[K, V]) Snapshot() error {
+	if m.persist == nil {
+		return ErrNotDurable
+	}
+	return m.persist.Snapshot()
+}
+
+// Sync forces every logged operation to durable storage, regardless of
+// the configured fsync policy. ErrNotDurable without persistence.
+func (m *Map[K, V]) Sync() error {
+	if m.persist == nil {
+		return ErrNotDurable
+	}
+	return m.persist.Sync()
+}
+
+// SimulateCrash abandons the durability engine the way a process crash
+// would — buffered records are lost, nothing more is logged — while the
+// in-memory map keeps working. Reopen the directory to observe what
+// survived. ErrNotDurable without persistence.
+func (m *Map[K, V]) SimulateCrash() error {
+	if m.persist == nil {
+		return ErrNotDurable
+	}
+	return m.persist.SimulateCrash()
+}
 
 // randomHeight draws from the geometric distribution with p = 1/2 in
 // [1, MaxLevel] (§3).
@@ -320,6 +424,9 @@ func (m *Map[K, V]) insertTx(tx *stm.Tx, h *Handle[K, V], k K, v V) bool {
 		s.prev[l].Store(tx, &s.orec, n)
 	}
 	m.index.InsertPtrTx(tx, k, n)
+	if m.logger != nil {
+		m.logger.LogPut(tx, k, v)
+	}
 	return true
 }
 
@@ -333,6 +440,9 @@ func (m *Map[K, V]) removeTx(tx *stm.Tx, h *Handle[K, V], k K) bool {
 	}
 	m.index.RemoveTx(tx, k)
 	n.rTime.Store(tx, &n.orec, m.rqc.onUpdate(tx))
+	if m.logger != nil {
+		m.logger.LogDel(tx, k)
+	}
 	m.afterRemove(tx, h, n)
 	return true
 }

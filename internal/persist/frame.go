@@ -1,0 +1,114 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Framing shared by WAL segments and snapshot files: every record is
+// [u32 payload length][u32 CRC-32C of payload][payload]. Files open with
+// an 8-byte magic identifying their kind and format version.
+
+const (
+	frameHeaderLen = 8
+	// maxFramePayload bounds a single frame so a corrupted length field
+	// cannot drive a multi-gigabyte allocation during recovery.
+	maxFramePayload = 1 << 28
+)
+
+var (
+	walMagic  = []byte("SKHWAL1\n")
+	snapMagic = []byte("SKHSNP1\n")
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// ErrCorrupt is the sentinel matched (via errors.Is) by every
+// *CorruptionError recovery returns.
+var ErrCorrupt = errors.New("persist: corrupt data")
+
+// CorruptionError reports exactly where recovery refused to proceed. It
+// is returned for checksum mismatches, framing violations, and decode
+// failures anywhere recovery is not allowed to tolerate them (a torn
+// frame at the very tail of the newest WAL segment is the one tolerated
+// anomaly — an expected crash artifact, not corruption).
+type CorruptionError struct {
+	// Path is the offending file.
+	Path string
+	// Offset is the byte offset of the frame (or header) at fault.
+	Offset int64
+	// Reason describes the violation.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("persist: corrupt data in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is reports a match against ErrCorrupt.
+func (e *CorruptionError) Is(target error) bool { return target == ErrCorrupt }
+
+// appendFrame appends a framed payload to dst. The payload is the byte
+// range payloadStart..len(dst) that the caller has already written; the
+// caller must have reserved frameHeaderLen bytes immediately before it
+// (see beginFrame).
+func finishFrame(dst []byte, headerStart int) []byte {
+	payload := dst[headerStart+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[headerStart:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[headerStart+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// beginFrame reserves a frame header in dst and returns the extended
+// slice plus the header's offset, to be completed by finishFrame once
+// the payload has been appended.
+func beginFrame(dst []byte) ([]byte, int) {
+	start := len(dst)
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0), start
+}
+
+// frameReader walks the frames of a fully loaded file.
+type frameReader struct {
+	path string
+	data []byte
+	off  int64 // absolute offset of the next frame
+}
+
+// errTornFrame marks an incomplete frame at the end of the data: either
+// a header extending past EOF or a payload shorter than its declared
+// length. Whether that is tolerable (tail of the newest WAL segment) or
+// corruption (anywhere else) is the caller's decision.
+var errTornFrame = errors.New("persist: torn frame at end of file")
+
+// next returns the next frame's payload. io.EOF-style end is reported
+// with done=true; a torn tail with errTornFrame; a checksum mismatch
+// with a *CorruptionError.
+func (r *frameReader) next() (payload []byte, frameOff int64, done bool, err error) {
+	rest := r.data[r.off:]
+	if len(rest) == 0 {
+		return nil, r.off, true, nil
+	}
+	frameOff = r.off
+	if len(rest) < frameHeaderLen {
+		return nil, frameOff, false, errTornFrame
+	}
+	ln := binary.LittleEndian.Uint32(rest)
+	if ln > maxFramePayload {
+		return nil, frameOff, false, &CorruptionError{Path: r.path, Offset: frameOff,
+			Reason: fmt.Sprintf("frame length %d exceeds limit", ln)}
+	}
+	if int64(len(rest)-frameHeaderLen) < int64(ln) {
+		return nil, frameOff, false, errTornFrame
+	}
+	payload = rest[frameHeaderLen : frameHeaderLen+int(ln)]
+	want := binary.LittleEndian.Uint32(rest[4:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, frameOff, false, &CorruptionError{Path: r.path, Offset: frameOff,
+			Reason: fmt.Sprintf("checksum mismatch: stored %08x, computed %08x", want, got)}
+	}
+	r.off += int64(frameHeaderLen) + int64(ln)
+	return payload, frameOff, false, nil
+}

@@ -1,0 +1,329 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RecoverInfo summarizes what Open reconstructed from disk.
+type RecoverInfo struct {
+	// Entries is how many pairs the recovered state holds.
+	Entries int
+	// SnapshotEntries is how many of those came from the snapshot.
+	SnapshotEntries int
+	// Records is how many WAL records were parsed and replayed.
+	Records int
+	// Segments is how many WAL segment files were read.
+	Segments int
+	// MaxStamp is the largest commit stamp observed anywhere (snapshot
+	// chunks and WAL records); the reopened map's clock is floored above
+	// it so new commits keep the log totally ordered across restarts.
+	MaxStamp uint64
+	// TornTail reports that the newest segment ended in an incomplete
+	// frame (the expected artifact of a crash mid-append); the tail was
+	// discarded and the file repaired.
+	TornTail bool
+}
+
+// walRecord is one parsed WAL record awaiting replay.
+type walRecord struct {
+	stamp uint64
+	count uint64
+	ops   []byte
+}
+
+const (
+	opPut = 1
+	opDel = 2
+)
+
+// dirState is the scan of a durability directory.
+type dirState struct {
+	segs     []segMeta // ascending seq; n/maxStamp filled during read
+	snaps    []uint64  // snapshot seqs, ascending
+	maxSeq   uint64
+	tmpFiles []string
+}
+
+func scanDir(dir string) (dirState, error) {
+	var st dirState
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+			if err != nil {
+				continue
+			}
+			st.segs = append(st.segs, segMeta{path: filepath.Join(dir, name), seq: seq})
+			if seq > st.maxSeq {
+				st.maxSeq = seq
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+			if err != nil {
+				continue
+			}
+			st.snaps = append(st.snaps, seq)
+			if seq > st.maxSeq {
+				st.maxSeq = seq
+			}
+		case strings.HasSuffix(name, ".tmp"):
+			st.tmpFiles = append(st.tmpFiles, name)
+		}
+	}
+	sort.Slice(st.segs, func(i, j int) bool { return st.segs[i].seq < st.segs[j].seq })
+	sort.Slice(st.snaps, func(i, j int) bool { return st.snaps[i] < st.snaps[j] })
+	return st, nil
+}
+
+// readSegment parses one WAL segment. last selects the torn-tail
+// tolerance: in the newest segment an incomplete frame at EOF is a
+// crash artifact — parsing stops and the good prefix length is
+// returned for repair; anywhere else it is corruption. A checksum
+// mismatch is corruption everywhere: fsync ordering never tears the
+// middle of a record without also tearing its end, but a flipped bit
+// does.
+func readSegment(meta *segMeta, last bool, recs []walRecord) ([]walRecord, int64, bool, error) {
+	data, err := os.ReadFile(meta.path)
+	if err != nil {
+		return recs, 0, false, err
+	}
+	if len(data) == 0 && last {
+		// Crash between file creation and the header write.
+		return recs, 0, true, nil
+	}
+	if len(data) < len(walMagic) {
+		if last {
+			return recs, 0, true, nil
+		}
+		return recs, 0, false, &CorruptionError{Path: meta.path, Offset: 0, Reason: "short segment header"}
+	}
+	if string(data[:len(walMagic)]) != string(walMagic) {
+		return recs, 0, false, &CorruptionError{Path: meta.path, Offset: 0, Reason: "bad segment magic"}
+	}
+	r := &frameReader{path: meta.path, data: data, off: int64(len(walMagic))}
+	torn := false
+	goodEnd := r.off
+	for {
+		payload, off, done, err := r.next()
+		if done {
+			break
+		}
+		if err == errTornFrame {
+			if !last {
+				return recs, 0, false, &CorruptionError{Path: meta.path, Offset: off, Reason: "torn frame in sealed segment"}
+			}
+			torn = true
+			break
+		}
+		if err != nil {
+			return recs, 0, false, err
+		}
+		if len(payload) < 9 {
+			// A real record payload is at least stamp+count (9 bytes); a
+			// shorter "frame" in the newest segment is a zero-extended
+			// tail (delayed allocation after power loss zero-fills the
+			// unsynced suffix, and an all-zero header parses as an empty
+			// frame whose CRC of nothing matches). Torn tail there;
+			// corruption anywhere else.
+			if last {
+				torn = true
+				break
+			}
+			return recs, 0, false, &CorruptionError{Path: meta.path, Offset: off, Reason: "record too short"}
+		}
+		stamp := binary.LittleEndian.Uint64(payload)
+		count, n, uerr := readUvarint(payload[8:])
+		if uerr != nil {
+			return recs, 0, false, &CorruptionError{Path: meta.path, Offset: off, Reason: uerr.Error()}
+		}
+		recs = append(recs, walRecord{stamp: stamp, count: count, ops: payload[8+n:]})
+		if stamp > meta.maxStamp {
+			meta.maxStamp = stamp
+		}
+		goodEnd = r.off
+	}
+	meta.n = goodEnd
+	return recs, goodEnd, torn, nil
+}
+
+// replay applies sorted WAL records onto the snapshot state. A record
+// touches a key only if its stamp is at or above the key's watermark
+// (the stamp of the snapshot chunk that observed it), so operations the
+// snapshot already reflects are re-applied at most idempotently and
+// never regress newer state. Decode failures here are CRC-valid bytes
+// that do not parse (codec mismatch, malformed op list) — corruption,
+// so every error wraps ErrCorrupt like the framing layer's.
+func replay[K comparable, V any](recs []walRecord, kc Codec[K], vc Codec[V], state map[K]*snapEntry[V]) error {
+	// Stable by stamp: appends happen while the committing transaction
+	// still holds its write set, so file order is commit order for any
+	// two records that could disagree about a key — stamp ties between
+	// conflicting transactions resolve correctly.
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].stamp < recs[j].stamp })
+	for ri := range recs {
+		rec := &recs[ri]
+		body := rec.ops
+		for i := uint64(0); i < rec.count; i++ {
+			if len(body) < 1 {
+				return fmt.Errorf("%w: record %d: truncated op list", ErrCorrupt, ri)
+			}
+			kind := body[0]
+			body = body[1:]
+			k, n, err := kc.Read(body)
+			if err != nil {
+				return fmt.Errorf("%w: record %d: key decode: %v", ErrCorrupt, ri, err)
+			}
+			body = body[n:]
+			var v V
+			if kind == opPut {
+				v, n, err = vc.Read(body)
+				if err != nil {
+					return fmt.Errorf("%w: record %d: value decode: %v", ErrCorrupt, ri, err)
+				}
+				body = body[n:]
+			} else if kind != opDel {
+				return fmt.Errorf("%w: record %d: unknown op kind %d", ErrCorrupt, ri, kind)
+			}
+			e := state[k]
+			if e == nil {
+				e = &snapEntry[V]{}
+				state[k] = e
+			} else if rec.stamp < e.stamp {
+				continue // already reflected in this key's snapshot chunk
+			}
+			e.stamp = rec.stamp
+			if kind == opPut {
+				e.val = v
+				e.present = true
+			} else {
+				var zero V
+				e.val = zero
+				e.present = false
+			}
+		}
+		if len(body) != 0 {
+			return fmt.Errorf("%w: record %d: %d trailing bytes", ErrCorrupt, ri, len(body))
+		}
+	}
+	return nil
+}
+
+// truncateDurable truncates a file to size and fsyncs the result (file
+// and parent directory), so the repair cannot be reverted by a later
+// power loss.
+func truncateDurable(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// recoverDir reconstructs state from a durability directory: newest
+// valid snapshot plus the stamp-ordered WAL replayed over it. It also
+// repairs a torn tail in place and reports the segment metadata the
+// reopened engine continues from.
+func recoverDir[K comparable, V any](dir string, kc Codec[K], vc Codec[V]) (
+	pairs []KV[K, V], info RecoverInfo, st dirState, err error) {
+	st, err = scanDir(dir)
+	if err != nil {
+		return nil, info, st, err
+	}
+	// Aborted snapshot writes (crash before rename) are garbage.
+	removeFiles(dir, st.tmpFiles)
+
+	state := make(map[K]*snapEntry[V])
+	var snapMin uint64
+	if len(st.snaps) > 0 {
+		newest := st.snaps[len(st.snaps)-1]
+		var snapMax uint64
+		snapMin, snapMax, err = readSnapshot(filepath.Join(dir, snapName(newest)), kc, vc, state)
+		if err != nil {
+			return nil, info, st, err
+		}
+		info.SnapshotEntries = len(state)
+		if snapMax > info.MaxStamp {
+			info.MaxStamp = snapMax
+		}
+		// Older snapshots are fully superseded.
+		for _, seq := range st.snaps[:len(st.snaps)-1] {
+			os.Remove(filepath.Join(dir, snapName(seq)))
+		}
+		st.snaps = st.snaps[len(st.snaps)-1:]
+	}
+
+	var recs []walRecord
+	for i := range st.segs {
+		last := i == len(st.segs)-1
+		var goodEnd int64
+		var torn bool
+		recs, goodEnd, torn, err = readSegment(&st.segs[i], last, recs)
+		if err != nil {
+			return nil, info, st, err
+		}
+		if torn {
+			info.TornTail = true
+			// Repair and fsync: the truncation must itself survive a
+			// power loss, or resurrected pre-truncate bytes could later
+			// sit under freshly appended frames and turn a recoverable
+			// torn tail into a checksum mismatch.
+			if terr := truncateDurable(st.segs[i].path, goodEnd); terr != nil {
+				return nil, info, st, terr
+			}
+		}
+	}
+	info.Segments = len(st.segs)
+	info.Records = len(recs)
+	for i := range recs {
+		if recs[i].stamp > info.MaxStamp {
+			info.MaxStamp = recs[i].stamp
+		}
+	}
+	if err = replay(recs, kc, vc, state); err != nil {
+		return nil, info, st, err
+	}
+	for k, e := range state {
+		if e.present {
+			pairs = append(pairs, KV[K, V]{Key: k, Val: e.val})
+		}
+	}
+	info.Entries = len(pairs)
+
+	// Tidy: segments fully covered by the loaded snapshot are dead
+	// weight on the next recovery. Prefix rule as in wal.truncateBelow.
+	if snapMin > 0 {
+		cut := 0
+		for cut < len(st.segs)-1 && st.segs[cut].maxStamp < snapMin {
+			cut++
+		}
+		for _, s := range st.segs[:cut] {
+			os.Remove(s.path)
+		}
+		st.segs = st.segs[cut:]
+	}
+	return pairs, info, st, nil
+}

@@ -1,0 +1,217 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot files hold the map's pairs as a sequence of chunk frames,
+// each chunk tagged with the clock stamp of the read-only transaction
+// that observed it — the chunk is a consistent view of its keys as of
+// that stamp, even though the whole file spans many stamps while
+// writers proceed. A trailer frame seals the file; a snapshot without a
+// valid trailer is an aborted write and is never loaded. Files are
+// written to a .tmp name, fsynced, and atomically renamed.
+
+const (
+	snapTagChunk   = 1
+	snapTagTrailer = 2
+)
+
+// SnapshotSource iterates a map in chunked consistent reads: emit is
+// called once per chunk with the chunk's clock stamp and pairs (the
+// final chunk may be empty — it stamps the end of iteration, which is
+// what allows truncating the WAL of an empty map).
+type SnapshotSource[K comparable, V any] func(chunkSize int, emit func(stamp uint64, kvs []KV[K, V]) error) error
+
+// snapWriter streams one snapshot file.
+type snapWriter[K comparable, V any] struct {
+	f   *os.File
+	bw  *bufio.Writer
+	kc  Codec[K]
+	vc  Codec[V]
+	buf []byte
+
+	total    uint64
+	minStamp uint64
+	maxStamp uint64
+	chunks   int
+}
+
+func newSnapWriter[K comparable, V any](path string, kc Codec[K], vc Codec[V]) (*snapWriter[K, V], error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sw := &snapWriter[K, V]{f: f, bw: bufio.NewWriterSize(f, 1<<16), kc: kc, vc: vc, minStamp: ^uint64(0)}
+	if _, err := sw.bw.Write(snapMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *snapWriter[K, V]) writeChunk(stamp uint64, kvs []KV[K, V]) error {
+	var header int
+	sw.buf, header = beginFrame(sw.buf[:0])
+	sw.buf = append(sw.buf, snapTagChunk)
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf, stamp)
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(kvs)))
+	for _, kv := range kvs {
+		sw.buf = sw.kc.Append(sw.buf, kv.Key)
+		sw.buf = sw.vc.Append(sw.buf, kv.Val)
+	}
+	sw.buf = finishFrame(sw.buf, header)
+	sw.total += uint64(len(kvs))
+	if stamp < sw.minStamp {
+		sw.minStamp = stamp
+	}
+	if stamp > sw.maxStamp {
+		sw.maxStamp = stamp
+	}
+	sw.chunks++
+	_, err := sw.bw.Write(sw.buf)
+	return err
+}
+
+// finish writes the trailer, fsyncs, and closes the file. It reports
+// the stamp bounds for truncation decisions.
+func (sw *snapWriter[K, V]) finish() (minStamp, maxStamp uint64, err error) {
+	if sw.chunks == 0 {
+		// Sources always emit at least one (possibly empty) chunk; guard
+		// anyway so an empty file still has defined bounds.
+		sw.minStamp, sw.maxStamp = 0, 0
+	}
+	var header int
+	sw.buf, header = beginFrame(sw.buf[:0])
+	sw.buf = append(sw.buf, snapTagTrailer)
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf, sw.total)
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf, sw.minStamp)
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf, sw.maxStamp)
+	sw.buf = finishFrame(sw.buf, header)
+	if _, err := sw.bw.Write(sw.buf); err != nil {
+		sw.f.Close()
+		return 0, 0, err
+	}
+	if err := sw.bw.Flush(); err != nil {
+		sw.f.Close()
+		return 0, 0, err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.f.Close()
+		return 0, 0, err
+	}
+	return sw.minStamp, sw.maxStamp, sw.f.Close()
+}
+
+func (sw *snapWriter[K, V]) abort() { sw.f.Close() }
+
+// snapEntry is one recovered snapshot pair plus the stamp of the chunk
+// it came from — the per-key watermark deciding which WAL records are
+// already reflected.
+type snapEntry[V any] struct {
+	val     V
+	stamp   uint64
+	present bool
+}
+
+// readSnapshot loads a snapshot file into the recovery state map. Any
+// framing, checksum, decode, or trailer violation is corruption: the
+// file was fsynced before its atomic rename, so a damaged snapshot is
+// never a crash artifact.
+func readSnapshot[K comparable, V any](path string, kc Codec[K], vc Codec[V], state map[K]*snapEntry[V]) (minStamp, maxStamp uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return 0, 0, &CorruptionError{Path: path, Offset: 0, Reason: "bad snapshot magic"}
+	}
+	r := &frameReader{path: path, data: data, off: int64(len(snapMagic))}
+	var total uint64
+	sealed := false
+	sawChunk := false
+	for {
+		payload, off, done, err := r.next()
+		if done {
+			break
+		}
+		if err != nil {
+			if err == errTornFrame {
+				err = &CorruptionError{Path: path, Offset: off, Reason: "truncated snapshot frame"}
+			}
+			return 0, 0, err
+		}
+		if sealed {
+			return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "data after snapshot trailer"}
+		}
+		if len(payload) < 1 {
+			return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "empty snapshot frame"}
+		}
+		switch payload[0] {
+		case snapTagChunk:
+			body := payload[1:]
+			if len(body) < 8 {
+				return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "short chunk header"}
+			}
+			stamp := binary.LittleEndian.Uint64(body)
+			body = body[8:]
+			count, n, uerr := readUvarint(body)
+			if uerr != nil {
+				return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: uerr.Error()}
+			}
+			body = body[n:]
+			for i := uint64(0); i < count; i++ {
+				k, n, kerr := kc.Read(body)
+				if kerr != nil {
+					return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "key decode: " + kerr.Error()}
+				}
+				body = body[n:]
+				v, n, verr := vc.Read(body)
+				if verr != nil {
+					return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "value decode: " + verr.Error()}
+				}
+				body = body[n:]
+				state[k] = &snapEntry[V]{val: v, stamp: stamp, present: true}
+			}
+			if len(body) != 0 {
+				return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "trailing bytes in chunk"}
+			}
+			total += count
+			if !sawChunk || stamp < minStamp {
+				minStamp = stamp
+			}
+			if stamp > maxStamp {
+				maxStamp = stamp
+			}
+			sawChunk = true
+		case snapTagTrailer:
+			body := payload[1:]
+			if len(body) != 24 {
+				return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: "bad trailer size"}
+			}
+			wantTotal := binary.LittleEndian.Uint64(body)
+			if wantTotal != total {
+				return 0, 0, &CorruptionError{Path: path, Offset: off,
+					Reason: fmt.Sprintf("trailer records %d entries, file holds %d", wantTotal, total)}
+			}
+			sealed = true
+		default:
+			return 0, 0, &CorruptionError{Path: path, Offset: off, Reason: fmt.Sprintf("unknown frame tag %d", payload[0])}
+		}
+	}
+	if !sealed {
+		return 0, 0, &CorruptionError{Path: path, Offset: r.off, Reason: "missing snapshot trailer"}
+	}
+	return minStamp, maxStamp, nil
+}
+
+// removeMatching deletes directory entries the keep set does not cover.
+func removeFiles(dir string, names []string) {
+	for _, n := range names {
+		os.Remove(filepath.Join(dir, n))
+	}
+}

@@ -1,0 +1,400 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/stm"
+)
+
+// Store is the durability engine of one map (or one shard group sharing
+// a commit-stamp domain): it captures the logical effect of committed
+// transactions into the WAL, writes background snapshots, and exposes
+// the recovered state it was opened from.
+//
+// Store implements the core package's OpLogger (LogPut/LogDel) and
+// Persister (Snapshot/Sync/Close/SimulateCrash/Err) hook interfaces
+// structurally; core stays free of any persist dependency in its data
+// path.
+type Store[K comparable, V any] struct {
+	opts Options
+	kc   Codec[K]
+	vc   Codec[V]
+	w    *wal
+
+	recovered RecoverInfo
+	pairs     []KV[K, V] // handed out once by TakeRecovered
+
+	bufPool sync.Pool
+
+	// snapshotter state.
+	source   SnapshotSource[K, V]
+	snapMu   sync.Mutex // serializes snapshot writes
+	kickSnap chan struct{}
+	stopSnap chan struct{}
+	snapDone chan struct{}
+	started  bool
+
+	mu           sync.Mutex
+	lastSnapErr  error
+	snapshots    uint64
+	snapsEntries uint64
+}
+
+// Open recovers a durability directory and returns a store ready to log
+// new operations. The recovered pairs (TakeRecovered) must be loaded
+// into the map before the store is attached as its operation logger,
+// and the map's clock must be floored above Recovered().MaxStamp.
+func Open[K comparable, V any](opts Options, kc Codec[K], vc Codec[V]) (*Store[K, V], error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("persist: Options.Dir is required")
+	}
+	if kc.Append == nil || kc.Read == nil || vc.Append == nil || vc.Read == nil {
+		return nil, fmt.Errorf("persist: key and value codecs are required")
+	}
+	opts = opts.withDefaults()
+	pairs, info, st, err := recoverDir[K, V](opts.Dir, kc, vc)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store[K, V]{
+		opts:      opts,
+		kc:        kc,
+		vc:        vc,
+		recovered: info,
+		pairs:     pairs,
+		kickSnap:  make(chan struct{}, 1),
+		stopSnap:  make(chan struct{}),
+		snapDone:  make(chan struct{}),
+	}
+	s.bufPool.New = func() any { return &txBuf{} }
+
+	// Continue appending into the newest existing segment (tail already
+	// repaired) unless it is full; otherwise the first flush opens a
+	// fresh one. A segment that lost even its header to a crash (created
+	// but never written) holds nothing and must not be adopted — appends
+	// at offset zero without the magic would make the whole directory
+	// unrecoverable — so it is deleted instead.
+	var sealed []segMeta
+	var adopt *segMeta
+	if len(st.segs) > 0 {
+		lastSeg := st.segs[len(st.segs)-1]
+		switch {
+		case lastSeg.n < int64(len(walMagic)):
+			os.Remove(lastSeg.path)
+			sealed = append(sealed, st.segs[:len(st.segs)-1]...)
+		case lastSeg.n < opts.SegmentBytes:
+			adopt = &lastSeg
+			sealed = append(sealed, st.segs[:len(st.segs)-1]...)
+		default:
+			sealed = append(sealed, st.segs...)
+		}
+	}
+	s.w = newWAL(opts, st.maxSeq, sealed)
+	s.w.snapKick = func() {
+		select {
+		case s.kickSnap <- struct{}{}:
+		default:
+		}
+	}
+	if adopt != nil {
+		if err := s.w.adoptSegment(*adopt); err != nil {
+			s.w.close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Recovered reports what Open reconstructed.
+func (s *Store[K, V]) Recovered() RecoverInfo { return s.recovered }
+
+// TakeRecovered returns the recovered pairs (unordered) exactly once,
+// releasing the store's reference to them.
+func (s *Store[K, V]) TakeRecovered() []KV[K, V] {
+	p := s.pairs
+	s.pairs = nil
+	return p
+}
+
+// Dir returns the durability directory.
+func (s *Store[K, V]) Dir() string { return s.opts.Dir }
+
+// Policy returns the effective fsync policy.
+func (s *Store[K, V]) Policy() FsyncPolicy { return s.opts.Fsync }
+
+// txBuf accumulates one transaction attempt's logical ops, pre-encoded.
+// It lives in the transaction's per-attempt local slot, so an aborted
+// attempt's ops are dropped with the slot and a retry starts clean.
+// Multiple stores observing one transaction (distinct durable maps
+// bound into one runtime) chain through next.
+type txBuf struct {
+	owner any
+	next  *txBuf
+	ops   []byte
+	count int
+	lsn   int64
+	err   error
+}
+
+// bufFor finds or installs this store's op buffer on the transaction,
+// registering the publish/commit hooks on first use in the attempt.
+func (s *Store[K, V]) bufFor(tx *stm.Tx) *txBuf {
+	head, _ := tx.Local().(*txBuf)
+	for b := head; b != nil; b = b.next {
+		if b.owner == s {
+			return b
+		}
+	}
+	b := s.bufPool.Get().(*txBuf)
+	b.owner = s
+	b.next = head
+	b.count = 0
+	b.ops = b.ops[:0]
+	b.lsn = 0
+	b.err = nil
+	tx.SetLocal(b)
+	tx.OnPublish(func(stamp uint64) {
+		// Orecs still held: append order equals commit order for every
+		// conflicting transaction, making the WAL's file order a valid
+		// tiebreak for equal stamps.
+		b.lsn, b.err = s.w.appendRecord(stamp, b.count, b.ops)
+	})
+	tx.OnCommit(func() {
+		if s.opts.Fsync == FsyncAlways && b.err == nil {
+			// The wait's error is not returned to the operation: the
+			// transaction has already committed in memory and cannot be
+			// un-acknowledged. Both failure paths (append error, failed
+			// fsync) are sticky engine state that Err/Sync/Close report.
+			s.w.waitDurable(b.lsn)
+		}
+		b.owner = nil
+		b.next = nil
+		s.bufPool.Put(b)
+	})
+	return b
+}
+
+// LogPut records that the transaction set k to v (implements the core
+// OpLogger hook).
+func (s *Store[K, V]) LogPut(tx *stm.Tx, k K, v V) {
+	b := s.bufFor(tx)
+	b.ops = append(b.ops, opPut)
+	b.ops = s.kc.Append(b.ops, k)
+	b.ops = s.vc.Append(b.ops, v)
+	b.count++
+}
+
+// LogDel records that the transaction removed k.
+func (s *Store[K, V]) LogDel(tx *stm.Tx, k K) {
+	b := s.bufFor(tx)
+	b.ops = append(b.ops, opDel)
+	b.ops = s.kc.Append(b.ops, k)
+	b.count++
+}
+
+// Start binds the snapshot source and launches the background
+// snapshotter (size- and optionally time-triggered). It must be called
+// after the recovered pairs have been loaded into the map.
+func (s *Store[K, V]) Start(source SnapshotSource[K, V]) {
+	s.source = source
+	if s.started {
+		return
+	}
+	s.started = true
+	go s.snapshotter()
+}
+
+func (s *Store[K, V]) snapshotter() {
+	defer close(s.snapDone)
+	interval := s.opts.SnapshotEvery
+	if interval <= 0 {
+		interval = time.Hour // size triggers only; the ticker is a backstop
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-s.kickSnap:
+		case <-ticker.C:
+			if s.opts.SnapshotEvery <= 0 {
+				continue
+			}
+		}
+		if s.opts.SnapshotBytes >= 0 || s.opts.SnapshotEvery > 0 {
+			if err := s.Snapshot(); err != nil && err != ErrClosed {
+				s.mu.Lock()
+				s.lastSnapErr = err
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Snapshot writes a full snapshot now: the map is iterated in chunked
+// consistent reads while writers proceed, the file is fsynced and
+// atomically renamed, and WAL segments fully covered by it are
+// truncated. Serialized with other snapshots; safe concurrent with
+// appends.
+func (s *Store[K, V]) Snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.source == nil {
+		return fmt.Errorf("persist: no snapshot source bound (Start not called)")
+	}
+	s.w.mu.Lock()
+	dead := s.w.closing || s.w.closed || s.w.crashed
+	s.w.mu.Unlock()
+	if dead {
+		return ErrClosed
+	}
+	seq := s.w.nextFileSeq()
+	tmp := filepath.Join(s.opts.Dir, fmt.Sprintf("snap-%016x.tmp", seq))
+	sw, err := newSnapWriter(tmp, s.kc, s.vc)
+	if err != nil {
+		return err
+	}
+	if err := s.source(s.opts.SnapshotChunk, sw.writeChunk); err != nil {
+		sw.abort()
+		os.Remove(tmp)
+		return err
+	}
+	minStamp, _, err := sw.finish()
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(s.opts.Dir, snapName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	// The new snapshot supersedes every older one and every WAL segment
+	// whose records all predate its earliest chunk.
+	st, err := scanDir(s.opts.Dir)
+	if err == nil {
+		for _, old := range st.snaps {
+			if old != seq {
+				os.Remove(filepath.Join(s.opts.Dir, snapName(old)))
+			}
+		}
+	}
+	s.w.truncateBelow(minStamp)
+	s.w.resetSnapshotDebt()
+	s.mu.Lock()
+	s.snapshots++
+	s.snapsEntries += sw.total
+	s.lastSnapErr = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// Sync forces every logged operation to durable storage now, regardless
+// of the fsync policy.
+func (s *Store[K, V]) Sync() error { return s.w.sync() }
+
+// Err returns the sticky background error, if any: a WAL I/O failure,
+// or — when the log itself is healthy — the most recent background
+// snapshot failure (cleared by the next snapshot that succeeds). This
+// is the one probe that observes every way the engine can silently
+// degrade.
+func (s *Store[K, V]) Err() error {
+	s.w.mu.Lock()
+	werr := s.w.err
+	s.w.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSnapErr
+}
+
+// Close stops the snapshotter, flushes and fsyncs the WAL (all
+// policies), and closes the files. Idempotent; concurrent callers all
+// return after teardown completes.
+func (s *Store[K, V]) Close() error {
+	s.stopSnapshotter()
+	return s.w.close()
+}
+
+func (s *Store[K, V]) stopSnapshotter() {
+	if !s.started {
+		return
+	}
+	s.snapMu.Lock()
+	select {
+	case <-s.stopSnap:
+	default:
+		close(s.stopSnap)
+	}
+	s.snapMu.Unlock()
+	<-s.snapDone
+}
+
+// SimulateCrash abandons the store as a process crash would: buffered,
+// un-flushed records are lost, nothing is fsynced, files are left
+// as-is. The owning map keeps working in memory but logs nothing
+// further. See also SimulateTornCrash.
+func (s *Store[K, V]) SimulateCrash() error {
+	s.stopSnapshotter()
+	return s.w.simulateCrash(0)
+}
+
+// SimulateTornCrash is SimulateCrash plus a power-loss emulation: up to
+// dropTail bytes are cut off the active segment, possibly mid-frame,
+// exercising recovery's torn-tail handling.
+func (s *Store[K, V]) SimulateTornCrash(dropTail int64) error {
+	s.stopSnapshotter()
+	return s.w.simulateCrash(dropTail)
+}
+
+// StoreStats is an observability snapshot of the durability engine.
+type StoreStats struct {
+	// Records and AppendedBytes cover WAL appends since open;
+	// FlushedBytes and SyncedBytes track how much of the logical log
+	// has reached the OS and stable storage respectively.
+	Records        uint64
+	AppendedBytes  int64
+	FlushedBytes   int64
+	SyncedBytes    int64
+	BytesSinceSnap int64
+	// Flushes and Syncs count file write-outs and fsyncs.
+	Flushes uint64
+	Syncs   uint64
+	// Snapshots counts completed snapshots; SnapshotEntries their total
+	// pairs; SegmentsDeleted the WAL segments truncated behind them.
+	Snapshots       uint64
+	SnapshotEntries uint64
+	SegmentsDeleted uint64
+}
+
+// Stats returns the engine counters.
+func (s *Store[K, V]) Stats() StoreStats {
+	s.w.mu.Lock()
+	ws := s.w.stats
+	flushed, synced := s.w.flushedLSN, s.w.syncedLSN
+	s.w.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Records:         ws.records,
+		AppendedBytes:   ws.bytes,
+		FlushedBytes:    flushed,
+		SyncedBytes:     synced,
+		BytesSinceSnap:  ws.sinceSnp,
+		Flushes:         ws.flushes,
+		Syncs:           ws.syncs,
+		Snapshots:       s.snapshots,
+		SnapshotEntries: s.snapsEntries,
+		SegmentsDeleted: ws.segsGone,
+	}
+}

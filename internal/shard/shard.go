@@ -74,6 +74,14 @@ type Sharded[K comparable, V any] struct {
 	// left the registry (closed handles, released pooled handles).
 	retired core.HandleStats
 	closed  atomic.Bool
+	// closeDone lets concurrent Close calls wait for the one closing
+	// goroutine (durability makes "Close returned" mean "flushed").
+	closeDone chan struct{}
+	// persister is the frontend-owned durability engine in shared mode
+	// (one WAL spanning every shard, so cross-shard batches are single
+	// records); in isolated mode each shard owns its own engine instead
+	// and this stays nil.
+	persister core.Persister
 }
 
 // normalizeShards clamps a requested shard count to a power of two in
@@ -108,8 +116,15 @@ func perShardConfig(cfg core.Config, shards int) core.Config {
 	cfg.Buckets = per | 1 // odd, so weak hashes still spread over chains
 	cfg.Shards = 0
 	cfg.IsolatedShards = false
+	cfg.Durability = nil // the frontend owns durability, not the shards
 	return cfg
 }
+
+// ResolveShards reports the effective partition count New derives from
+// a requested one (zero derives from GOMAXPROCS, then clamping and
+// rounding to a power of two). Exported for the durable Open path,
+// which must lay out per-shard directories before constructing the map.
+func ResolveShards(n int) int { return normalizeShards(n) }
 
 // New creates a sharded skip hash ordered by less and hashed by hash.
 // cfg.Shards selects the partition count (0 derives a power of two from
@@ -120,11 +135,12 @@ func perShardConfig(cfg core.Config, shards int) core.Config {
 func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg core.Config) *Sharded[K, V] {
 	n := normalizeShards(cfg.Shards)
 	s := &Sharded[K, V]{
-		less:     less,
-		hash:     hash,
-		shards:   make([]*core.Map[K, V], n),
-		shift:    uint(64 - bits.TrailingZeros(uint(n))),
-		isolated: cfg.IsolatedShards,
+		less:      less,
+		hash:      hash,
+		shards:    make([]*core.Map[K, V], n),
+		shift:     uint(64 - bits.TrailingZeros(uint(n))),
+		isolated:  cfg.IsolatedShards,
+		closeDone: make(chan struct{}),
 	}
 	per := perShardConfig(cfg, n)
 	if s.isolated {
@@ -153,16 +169,97 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg c
 
 // Close shuts every shard down: per-shard maintainers stop, registered
 // handles' removal buffers flush, and the orphan queues drain, so a
-// quiescent map holds no stitched logically-deleted nodes afterwards.
-// Close is idempotent; operations issued after Close fall back to
-// inline reclamation.
+// quiescent map holds no stitched logically-deleted nodes afterwards;
+// on durable maps the write-ahead log is then flushed and fsynced.
+// Close is idempotent and safe concurrent with operations, Quiesce, and
+// other Close calls — every call returns only after teardown (including
+// the durability flush) has completed. Operations issued after Close
+// fall back to inline reclamation and are no longer logged.
 func (s *Sharded[K, V]) Close() {
 	if s.closed.Swap(true) {
+		<-s.closeDone
 		return
 	}
+	defer close(s.closeDone)
 	for _, m := range s.shards {
 		m.Close()
 	}
+	if s.persister != nil {
+		s.persister.Close()
+	}
+}
+
+// AttachPersistence wires shared-mode durability: l observes every
+// shard's committed logical operations (all shards share one commit
+// clock, so one WAL orders them globally, and a cross-shard batch is a
+// single atomic record), and p owns snapshots, syncs and shutdown at
+// the frontend. Isolated shards attach engines per shard instead (see
+// the skiphash Open constructors).
+func (s *Sharded[K, V]) AttachPersistence(l core.OpLogger[K, V], p core.Persister) {
+	for _, m := range s.shards {
+		m.AttachPersistence(l, nil)
+	}
+	s.persister = p
+}
+
+// SnapshotChunks iterates every shard's key space in chunked consistent
+// reads for a durable snapshot; see core.Map.SnapshotChunks. Chunks
+// from different shards carry their own stamps — recovery's per-key
+// chunk watermarks make the union consistent without stopping writers.
+func (s *Sharded[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []Pair[K, V]) error) error {
+	for _, m := range s.shards {
+		if err := m.SnapshotChunks(chunkSize, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot writes a durable snapshot now: through the frontend engine
+// in shared mode, per shard in isolated mode. core.ErrNotDurable
+// without persistence.
+func (s *Sharded[K, V]) Snapshot() error {
+	return s.durabilityOp(core.Persister.Snapshot, (*core.Map[K, V]).Snapshot)
+}
+
+// Sync forces every logged operation to durable storage; see Snapshot
+// for the routing.
+func (s *Sharded[K, V]) Sync() error {
+	return s.durabilityOp(core.Persister.Sync, (*core.Map[K, V]).Sync)
+}
+
+// SimulateCrash abandons the durability engine(s) as a process crash
+// would; the in-memory map keeps working. See core.Map.SimulateCrash.
+func (s *Sharded[K, V]) SimulateCrash() error {
+	return s.durabilityOp(core.Persister.SimulateCrash, (*core.Map[K, V]).SimulateCrash)
+}
+
+// Persister returns the frontend-owned durability engine (shared-mode
+// durable maps), or nil (non-durable and isolated maps — there each
+// Shard(i).Persister() is private).
+func (s *Sharded[K, V]) Persister() core.Persister { return s.persister }
+
+// durabilityOp routes a durability verb to the frontend engine (shared
+// mode) or to every shard (isolated mode), keeping the first error.
+func (s *Sharded[K, V]) durabilityOp(front func(core.Persister) error, per func(*core.Map[K, V]) error) error {
+	if s.persister != nil {
+		return front(s.persister)
+	}
+	durable := false
+	var first error
+	for _, m := range s.shards {
+		if m.Persister() == nil {
+			continue
+		}
+		durable = true
+		if err := per(m); err != nil && first == nil {
+			first = err
+		}
+	}
+	if !durable {
+		return core.ErrNotDurable
+	}
+	return first
 }
 
 // Closed reports whether Close has been called.

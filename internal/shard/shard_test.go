@@ -481,3 +481,42 @@ func TestShardedHandleLifecycle(t *testing.T) {
 		t.Error("Closed() = false after Close")
 	}
 }
+
+// TestShardedCloseConcurrent mirrors the core Close contract at the
+// sharded frontend: concurrent Close and Quiesce calls all return after
+// teardown, and every call observes the fully closed map.
+func TestShardedCloseConcurrent(t *testing.T) {
+	s := newInt64(core.Config{Shards: 4, Maintenance: true})
+	for k := int64(0); k < 512; k++ {
+		s.Insert(k, k)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Close()
+			if !s.Closed() {
+				t.Error("Close returned with Closed() == false")
+			}
+			for i := 0; i < s.NumShards(); i++ {
+				if !s.Shard(i).Closed() {
+					t.Errorf("Close returned with shard %d still open", i)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Quiesce()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	s.Close() // idempotent afterwards
+}

@@ -1,0 +1,135 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestOnPublishCommitOrder: publish hooks fire only for successful
+// writing commits, with the commit stamp, before the orecs release —
+// so for conflicting transactions, publish order is commit order.
+func TestOnPublishSemantics(t *testing.T) {
+	rt := New()
+	var o Orec
+	var f U64
+
+	var stamps []uint64
+	var locals []any
+	// A committed writer publishes exactly once with a nonzero stamp.
+	err := rt.Atomic(func(tx *Tx) error {
+		if tx.Local() != nil {
+			t.Error("fresh attempt has a non-nil local slot")
+		}
+		tx.SetLocal("x")
+		locals = append(locals, tx.Local())
+		f.Store(tx, &o, 1)
+		tx.OnPublish(func(stamp uint64) { stamps = append(stamps, stamp) })
+		tx.OnCommit(func() {
+			if got := tx.CommitStamp(); got != stamps[len(stamps)-1] {
+				t.Errorf("CommitStamp %d != published stamp %d", got, stamps[len(stamps)-1])
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 1 || stamps[0] == 0 {
+		t.Fatalf("publish fired %d times with %v", len(stamps), stamps)
+	}
+	if locals[0] != "x" {
+		t.Fatalf("local slot lost within attempt: %v", locals)
+	}
+
+	// A user error discards publish hooks.
+	published := false
+	sentinel := errors.New("boom")
+	if err := rt.Atomic(func(tx *Tx) error {
+		f.Store(tx, &o, 2)
+		tx.OnPublish(func(uint64) { published = true })
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("user error lost: %v", err)
+	}
+	if published {
+		t.Fatal("publish hook fired for a rolled-back transaction")
+	}
+
+	// A read-only commit draws no stamp and publishes nothing.
+	_ = rt.Atomic(func(tx *Tx) error {
+		_ = f.Load(tx, &o)
+		tx.OnPublish(func(uint64) { published = true })
+		return nil
+	})
+	if published {
+		t.Fatal("publish hook fired for a read-only commit")
+	}
+
+	// Conflicting writers publish in commit order: while a publish hook
+	// runs, the orec is still owned, so a stamp observed there is
+	// strictly ordered with any later conflicting commit's stamp.
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = rt.Atomic(func(tx *Tx) error {
+					f.Store(tx, &o, f.Load(tx, &o)+1)
+					tx.OnPublish(func(stamp uint64) {
+						mu.Lock()
+						order = append(order, stamp)
+						mu.Unlock()
+					})
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(order) != 8*200 {
+		t.Fatalf("published %d times, want %d", len(order), 8*200)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("conflicting publishes out of stamp order at %d: %d after %d", i, order[i], order[i-1])
+		}
+	}
+}
+
+// TestFloorClock: the wrapper shifts stamps above the floor and
+// preserves the inner clock's contract surface.
+func TestFloorClock(t *testing.T) {
+	if c := NewFloorClock(NewGV1(), 0); c != any(c).(Clock) || c.Name() != "gv1" {
+		t.Fatal("zero floor should keep the clock usable")
+	}
+	inner := NewGV1()
+	c := NewFloorClock(inner, 1000)
+	if got := c.Read(); got != 1000 {
+		t.Fatalf("Read = %d, want 1000", got)
+	}
+	if got := c.Next(); got != 1001 {
+		t.Fatalf("Next = %d, want 1001", got)
+	}
+	if c.Strict() != inner.Strict() || c.Name() != inner.Name() {
+		t.Fatal("FloorClock must delegate Strict and Name")
+	}
+	rt := New(WithClock(NewFloorClock(NewMonotonicClock(), 500)))
+	var o Orec
+	var f U64
+	if err := rt.Atomic(func(tx *Tx) error {
+		if tx.Start() <= 500 {
+			t.Errorf("start stamp %d not above floor", tx.Start())
+		}
+		f.Store(tx, &o, 9)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Raw(); got != 9 {
+		t.Fatalf("write through floored runtime lost: %d", got)
+	}
+}

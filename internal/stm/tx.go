@@ -23,6 +23,17 @@ type Tx struct {
 	undo     []func()
 	acquired []acqEntry
 	hooks    []func()
+	publish  []func(stamp uint64)
+
+	// end is the commit timestamp of the most recent successful writing
+	// commit (zero for read-only commits, which never draw one).
+	end uint64
+
+	// local is the per-attempt scratch slot for layers above the STM
+	// (see SetLocal). It is cleared at the start of every attempt, so
+	// state accumulated by an aborted attempt can never leak into its
+	// retry.
+	local any
 
 	// acqIndex mirrors acquired as orec -> pre-acquire word once the
 	// acquire list outgrows acquireIndexThreshold, so commit-time
@@ -86,6 +97,9 @@ func (tx *Tx) begin() {
 	tx.undo = tx.undo[:0]
 	tx.acquired = tx.acquired[:0]
 	tx.hooks = tx.hooks[:0]
+	tx.publish = tx.publish[:0]
+	tx.end = 0
+	tx.local = nil
 	if len(tx.acqIndex) > 0 {
 		clear(tx.acqIndex)
 	}
@@ -205,6 +219,38 @@ func (tx *Tx) OnCommit(fn func()) {
 	tx.hooks = append(tx.hooks, fn)
 }
 
+// OnPublish registers fn to run inside a successful commit of a writing
+// transaction: after read-set validation has succeeded and the commit
+// timestamp has been drawn, but before any acquired orec is released.
+// This is the serialization observation point durability needs — while
+// fn runs, every conflicting transaction is still excluded, so the order
+// in which OnPublish hooks of conflicting transactions execute is
+// exactly their commit order, and fn receives the commit stamp that
+// orders them. fn must be fast (it extends every conflicting writer's
+// wait) and must not panic or start new transactions on this runtime.
+//
+// Hooks are discarded on abort or user error, and read-only commits
+// never run them (no stamp is drawn). Registrations do not carry across
+// attempts: a retried closure re-registers.
+func (tx *Tx) OnPublish(fn func(stamp uint64)) {
+	tx.publish = append(tx.publish, fn)
+}
+
+// CommitStamp returns the commit timestamp of the transaction's
+// successful writing commit. It is meaningful inside OnCommit hooks (and
+// after OnPublish has fired); read-only commits report zero.
+func (tx *Tx) CommitStamp() uint64 { return tx.end }
+
+// SetLocal attaches per-attempt scratch state to the transaction for
+// layers above the STM. The slot is cleared at the start of every
+// attempt, so an aborted attempt's state never leaks into its retry;
+// callers detect a fresh attempt by Local returning nil (or a value they
+// do not own) and rebuild.
+func (tx *Tx) SetLocal(v any) { tx.local = v }
+
+// Local returns the per-attempt scratch slot; see SetLocal.
+func (tx *Tx) Local() any { return tx.local }
+
 // preAcquireWord returns the version word an orec held before this
 // transaction acquired it. ok is false if the orec is not in the acquire
 // list. Above acquireIndexThreshold the lookup goes through acqIndex,
@@ -264,6 +310,13 @@ func (tx *Tx) commit() bool {
 	if !tx.hookPoint(PointCommit) {
 		tx.rollback()
 		return false
+	}
+	tx.end = end
+	// Commit is now decided: run the publish observers while the
+	// acquired orecs are still held, so observers of conflicting
+	// transactions fire in commit order (see OnPublish).
+	for _, f := range tx.publish {
+		f(end)
 	}
 	// Publish: release every acquired orec at the commit timestamp.
 	release := versionWord(end)

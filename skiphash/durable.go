@@ -1,0 +1,274 @@
+package skiphash
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/shard"
+	"repro/internal/stm"
+	"repro/internal/thashmap"
+)
+
+// Durability configures persistence for the Open constructors; set it
+// as Config.Durability. See the package documentation's "Durability and
+// recovery" section for the fsync-policy contract.
+type Durability = persist.Options
+
+// FsyncPolicy selects how aggressively the write-ahead log is fsynced.
+type FsyncPolicy = persist.FsyncPolicy
+
+// Fsync policies, least to most durable: FsyncNone never fsyncs while
+// running (a clean Close still flushes and syncs), FsyncInterval (the
+// default) fsyncs in the background at least every Durability.FsyncEvery,
+// FsyncAlways group-commits — every update blocks until an fsync covers
+// its record.
+const (
+	FsyncInterval = persist.FsyncInterval
+	FsyncAlways   = persist.FsyncAlways
+	FsyncNone     = persist.FsyncNone
+)
+
+// Codec serializes keys or values of a durable map; see persist.Codec.
+type Codec[T any] = persist.Codec[T]
+
+// Int64Codec encodes int64 keys or values for durable maps.
+func Int64Codec() Codec[int64] { return persist.Int64Codec() }
+
+// StringCodec encodes string keys or values for durable maps.
+func StringCodec() Codec[string] { return persist.StringCodec() }
+
+// Float64Codec encodes float64 values for durable maps.
+func Float64Codec() Codec[float64] { return persist.Float64Codec() }
+
+// BytesCodec encodes []byte values for durable maps.
+func BytesCodec() Codec[[]byte] { return persist.BytesCodec() }
+
+// ErrCorrupt is matched (errors.Is) by the corruption errors Open
+// returns when a WAL segment or snapshot fails its checksums anywhere
+// recovery is not allowed to tolerate it.
+var ErrCorrupt = persist.ErrCorrupt
+
+// ErrNotDurable is returned by Snapshot/Sync/SimulateCrash on maps
+// constructed without Config.Durability.
+var ErrNotDurable = core.ErrNotDurable
+
+// Open creates — or recovers — a durable skip hash. With
+// cfg.Durability nil it is exactly New. Otherwise the directory's
+// newest valid snapshot is loaded, strictly-newer write-ahead-log
+// records are replayed in commit-stamp order (tolerating a torn record
+// at the tail of the newest segment, the expected artifact of a crash
+// mid-append; rejecting checksum corruption with an error matching
+// ErrCorrupt), the map's commit clock is floored above every recovered
+// stamp, and from then on every committed insert, remove and atomic
+// batch is logged with its commit stamp. Call Close to flush; see
+// Map.Snapshot, Map.Sync and Map.SimulateCrash for the rest of the
+// durability surface.
+func Open[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config, keys Codec[K], vals Codec[V]) (*Map[K, V], error) {
+	if cfg.Durability == nil {
+		return New[K, V](less, hash, cfg), nil
+	}
+	st, err := persist.Open[K, V](*cfg.Durability, keys, vals)
+	if err != nil {
+		return nil, err
+	}
+	cfg2 := cfg
+	cfg2.Clock = flooredClock(cfg, st.Recovered().MaxStamp)
+	cfg2.ClockFactory = nil
+	m := core.New[K, V](less, hash, cfg2)
+	loadRecovered(st.TakeRecovered(), func(fn func(op *Txn[K, V]) error) { _ = m.Atomic(fn) })
+	m.AttachPersistence(st, st)
+	st.Start(snapshotSource(st, m.SnapshotChunks))
+	return m, nil
+}
+
+// OpenInt64 is Open for int64 keys (the paper's evaluation type).
+func OpenInt64[V any](cfg Config, vals Codec[V]) (*Map[int64, V], error) {
+	return Open[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg, Int64Codec(), vals)
+}
+
+// OpenSharded creates — or recovers — a durable sharded skip hash.
+//
+// In shared mode (the default) all shards live in one commit-stamp
+// domain, so one write-ahead log under cfg.Durability.Dir orders every
+// shard's operations globally and a cross-shard atomic batch is a
+// single log record — recovered all-or-nothing even after a crash.
+//
+// With cfg.IsolatedShards every shard runs its own engine in a
+// per-shard subdirectory (shard-000, shard-001, ...): per-shard WAL
+// segments recovered into a consistent whole, matching isolated mode's
+// per-shard atomicity contract. The shard count is fixed by the first
+// open; reopening with a different count fails rather than splitting a
+// key's history across incomparable clock domains.
+func OpenSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config, keys Codec[K], vals Codec[V]) (*Sharded[K, V], error) {
+	if cfg.Durability == nil {
+		return NewSharded[K, V](less, hash, cfg), nil
+	}
+	if !cfg.IsolatedShards {
+		st, err := persist.Open[K, V](*cfg.Durability, keys, vals)
+		if err != nil {
+			return nil, err
+		}
+		cfg2 := cfg
+		cfg2.Clock = flooredClock(cfg, st.Recovered().MaxStamp)
+		cfg2.ClockFactory = nil
+		s := shard.New[K, V](less, hash, cfg2)
+		loadRecovered(st.TakeRecovered(), func(fn func(op *ShardedTxn[K, V]) error) { _ = s.Atomic(fn) })
+		s.AttachPersistence(st, st)
+		st.Start(snapshotSource(st, s.SnapshotChunks))
+		return s, nil
+	}
+	return openIsolatedSharded[K, V](less, hash, cfg, keys, vals)
+}
+
+// OpenInt64Sharded is OpenSharded for int64 keys.
+func OpenInt64Sharded[V any](cfg Config, vals Codec[V]) (*Sharded[int64, V], error) {
+	return OpenSharded[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg, Int64Codec(), vals)
+}
+
+// openIsolatedSharded opens one durability engine per shard under
+// dir/shard-NNN. The shard count is pinned by a meta file written only
+// after the first fully successful open, so a crashed or failed first
+// open (which may leave a partial set of empty shard directories — no
+// data can have been written before Open returned) is retryable, while
+// reopening real data with a different count still fails loudly.
+func openIsolatedSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config, keys Codec[K], vals Codec[V]) (*Sharded[K, V], error) {
+	dir := cfg.Durability.Dir
+	n := shard.ResolveShards(cfg.Shards)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	metaPath := filepath.Join(dir, "shards")
+	if raw, err := os.ReadFile(metaPath); err == nil {
+		pinned, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil {
+			return nil, fmt.Errorf("skiphash: unreadable shard-count meta %s: %q", metaPath, raw)
+		}
+		if pinned != n {
+			return nil, fmt.Errorf("skiphash: durability dir %s was written with %d isolated shards but the map resolves to %d; isolated per-shard logs cannot be re-partitioned", dir, pinned, n)
+		}
+	} else {
+		// No meta: first open (or a retry after a failed/crashed first
+		// open). Surplus shard directories would silently lose data, so
+		// they are still an error; missing ones are simply created.
+		existing, gerr := filepath.Glob(filepath.Join(dir, "shard-*"))
+		if gerr != nil {
+			return nil, gerr
+		}
+		if len(existing) > n {
+			return nil, fmt.Errorf("skiphash: durability dir %s holds %d shard directories but the map resolves to %d shards", dir, len(existing), n)
+		}
+	}
+	stores := make([]*persist.Store[K, V], n)
+	var maxStamp uint64
+	for i := range stores {
+		opts := *cfg.Durability
+		opts.Dir = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+		st, err := persist.Open[K, V](opts, keys, vals)
+		if err != nil {
+			for _, prev := range stores[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		stores[i] = st
+		if ms := st.Recovered().MaxStamp; ms > maxStamp {
+			maxStamp = ms
+		}
+	}
+	// Every engine opened: pin the shard count (atomically and
+	// dir-fsynced, so a crash here leaves either no meta — retryable —
+	// or a complete one, and power loss cannot silently drop the pin
+	// and let a later open re-partition recovered data).
+	if err := persist.WriteFileAtomic(metaPath, []byte(fmt.Sprintf("%d\n", n))); err != nil {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, err
+	}
+	cfg2 := cfg
+	cfg2.Shards = n
+	if cfg2.Clock != nil {
+		cfg2.Clock = stm.NewFloorClock(cfg2.Clock, maxStamp)
+	} else {
+		base := cfg2.ClockFactory
+		floor := maxStamp
+		cfg2.ClockFactory = func() stm.Clock {
+			var inner stm.Clock
+			if base != nil {
+				inner = base()
+			} else {
+				inner = stm.NewMonotonicClock()
+			}
+			return stm.NewFloorClock(inner, floor)
+		}
+	}
+	s := shard.New[K, V](less, hash, cfg2)
+	for i, st := range stores {
+		loadRecovered(st.TakeRecovered(), func(fn func(op *Txn[K, V]) error) { _ = s.Shard(i).Atomic(fn) })
+		s.Shard(i).AttachPersistence(st, st)
+		st.Start(snapshotSource(st, s.Shard(i).SnapshotChunks))
+	}
+	return s, nil
+}
+
+// recoveredBatch is how many recovered pairs each load transaction
+// inserts: batching amortizes per-transaction overhead during recovery
+// without building oversized write sets.
+const recoveredBatch = 128
+
+// txnInserter abstracts the two Txn flavors for loadRecovered.
+type txnInserter[K comparable, V any] interface{ Insert(k K, v V) bool }
+
+// loadRecovered replays recovered pairs into a freshly built (and still
+// private) map, in batched transactions, before the operation logger is
+// attached — so the load is not re-logged.
+func loadRecovered[K comparable, V any, T txnInserter[K, V]](pairs []persist.KV[K, V], atomic func(fn func(op T) error)) {
+	for len(pairs) > 0 {
+		batch := pairs
+		if len(batch) > recoveredBatch {
+			batch = pairs[:recoveredBatch]
+		}
+		atomic(func(op T) error {
+			for _, kv := range batch {
+				op.Insert(kv.Key, kv.Val)
+			}
+			return nil
+		})
+		pairs = pairs[len(batch):]
+	}
+}
+
+// flooredClock resolves the configured commit clock and floors it above
+// every recovered stamp, so post-restart commits extend the log's total
+// order instead of rewinding it.
+func flooredClock(cfg Config, maxStamp uint64) stm.Clock {
+	clock := cfg.Clock
+	if clock == nil && cfg.ClockFactory != nil {
+		clock = cfg.ClockFactory()
+	}
+	if clock == nil {
+		clock = stm.NewMonotonicClock()
+	}
+	return stm.NewFloorClock(clock, maxStamp)
+}
+
+// snapshotSource adapts a map's SnapshotChunks iterator to the persist
+// engine's callback type, reusing one conversion buffer.
+func snapshotSource[K comparable, V any](st *persist.Store[K, V],
+	chunks func(int, func(uint64, []Pair[K, V]) error) error) persist.SnapshotSource[K, V] {
+	return func(chunkSize int, emit func(stamp uint64, kvs []persist.KV[K, V]) error) error {
+		kvs := make([]persist.KV[K, V], 0, chunkSize)
+		return chunks(chunkSize, func(stamp uint64, pairs []Pair[K, V]) error {
+			kvs = kvs[:0]
+			for _, p := range pairs {
+				kvs = append(kvs, persist.KV[K, V]{Key: p.Key, Val: p.Val})
+			}
+			return emit(stamp, kvs)
+		})
+	}
+}

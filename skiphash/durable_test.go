@@ -1,0 +1,294 @@
+package skiphash_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+	"repro/skiphash"
+)
+
+func openDurable(t *testing.T, cfg skiphash.Config) *skiphash.Map[int64, int64] {
+	t.Helper()
+	m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("OpenInt64: %v", err)
+	}
+	return m
+}
+
+func assertMatchesModel(t *testing.T, m *skiphash.Map[int64, int64], model map[int64]int64, universe int64) {
+	t.Helper()
+	for k := int64(0); k < universe; k++ {
+		v, ok := m.Lookup(k)
+		mv, mok := model[k]
+		if ok != mok || (ok && v != mv) {
+			t.Fatalf("key %d: recovered (%d,%v), model (%d,%v)", k, v, ok, mv, mok)
+		}
+	}
+	n := 0
+	for range m.All() {
+		n++
+	}
+	if n != len(model) {
+		t.Fatalf("recovered size %d, model %d", n, len(model))
+	}
+}
+
+// TestDurableSnapshotReplayProperty is the recovery property test:
+// under a randomized workload with snapshots interleaved at arbitrary
+// points (and writers running concurrently with them), every
+// close-and-reopen cycle must reproduce the sequential model exactly.
+func TestDurableSnapshotReplayProperty(t *testing.T) {
+	const universe = 256
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		rng := rand.New(rand.NewPCG(seed, 0xd0))
+		dir := t.TempDir()
+		cfg := skiphash.Config{Durability: &skiphash.Durability{
+			Dir: dir, SegmentBytes: 1 << 12, SnapshotBytes: -1,
+		}}
+		model := map[int64]int64{}
+		for cycle := 0; cycle < 4; cycle++ {
+			m := openDurable(t, cfg)
+			assertMatchesModel(t, m, model, universe)
+			// Background writer on disjoint high keys exercises
+			// snapshot-while-writing; its committed ops are replayed into
+			// the model after it joins.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			bgDone := make(map[int64]int64)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := int64(0); i < 3000; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := universe + (i % 64)
+					m.Put(k, i)
+					bgDone[k] = i
+				}
+			}()
+			ops := 400 + int(rng.Uint64()%400)
+			for i := 0; i < ops; i++ {
+				k := int64(rng.Uint64() % universe)
+				switch rng.Uint64() % 5 {
+				case 0, 1:
+					if m.Insert(k, int64(i)) {
+						model[k] = int64(i)
+					}
+				case 2:
+					if m.Remove(k) {
+						delete(model, k)
+					}
+				case 3:
+					m.Put(k, int64(i))
+					model[k] = int64(i)
+				case 4:
+					if err := m.Snapshot(); err != nil {
+						t.Fatalf("seed %d cycle %d: Snapshot: %v", seed, cycle, err)
+					}
+				}
+			}
+			close(stop)
+			wg.Wait()
+			for k, v := range bgDone {
+				model[k] = v
+			}
+			m.Close()
+		}
+		// Final audit including the background keys.
+		m := openDurable(t, cfg)
+		assertMatchesModel(t, m, model, universe+64)
+		m.Close()
+	}
+}
+
+// TestDurableCrashAlwaysLosesNothing: with FsyncAlways, a simulated
+// process crash after acknowledged operations loses none of them.
+func TestDurableCrashAlwaysLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := skiphash.Config{Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncAlways}}
+	m := openDurable(t, cfg)
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Uint64() % 128)
+		if rng.Uint64()&1 == 0 {
+			m.Put(k, int64(i))
+			model[k] = int64(i)
+		} else if m.Remove(k) {
+			delete(model, k)
+		}
+	}
+	if err := m.SimulateCrash(); err != nil {
+		t.Fatalf("SimulateCrash: %v", err)
+	}
+	m.Close()
+	m2 := openDurable(t, cfg)
+	defer m2.Close()
+	assertMatchesModel(t, m2, model, 128)
+}
+
+// TestDurableBatchAtomicity: atomic batches spanning shards are single
+// WAL records, so recovery — even from a torn tail — sees each batch
+// entirely or not at all.
+func TestDurableBatchAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	// FsyncNone with a fast write-out: records reach the file but stay
+	// unsynced, so the torn crash below has a real tail to cut (the tear
+	// is bounded by the fsync horizon).
+	cfg := skiphash.Config{Shards: 4, Durability: &skiphash.Durability{
+		Dir: dir, Fsync: skiphash.FsyncNone, FsyncEvery: 2 * time.Millisecond,
+	}}
+	s, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = int64(1 << 20)
+	for i := int64(0); i < 300; i++ {
+		i := i
+		_ = s.Atomic(func(op *skiphash.ShardedTxn[int64, int64]) error {
+			op.Insert(i, i)
+			op.Insert(i+half, i)
+			return nil
+		})
+	}
+	st, ok := s.Persister().(*persist.Store[int64, int64])
+	if !ok {
+		t.Fatal("sharded persister is not the shared store")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if stats := st.Stats(); stats.FlushedBytes == stats.AppendedBytes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("records never reached the file")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Tear the log mid-record: batches are single records, so the cut
+	// may drop trailing batches but can never split one.
+	if err := st.SimulateTornCrash(13); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("recovery after torn crash: %v", err)
+	}
+	defer s2.Close()
+	recovered := 0
+	for i := int64(0); i < 300; i++ {
+		v1, ok1 := s2.Lookup(i)
+		v2, ok2 := s2.Lookup(i + half)
+		if ok1 != ok2 {
+			t.Fatalf("batch %d recovered torn: low=%v high=%v", i, ok1, ok2)
+		}
+		if ok1 {
+			if v1 != i || v2 != i {
+				t.Fatalf("batch %d recovered wrong values: %d %d", i, v1, v2)
+			}
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("torn tail dropped every batch")
+	}
+}
+
+// TestDurableCorruptionRejected: a damaged WAL makes Open fail with an
+// error matching skiphash.ErrCorrupt, never a silently wrong map.
+func TestDurableCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := skiphash.Config{Durability: &skiphash.Durability{Dir: dir}}
+	m := openDurable(t, cfg)
+	for i := int64(0); i < 200; i++ {
+		m.Insert(i, i)
+	}
+	m.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments on disk")
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	if !errors.Is(err, skiphash.ErrCorrupt) {
+		t.Fatalf("Open on corrupt WAL: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDurabilitySurfaceOnPlainMaps: the durability verbs fail with
+// ErrNotDurable on maps built without Config.Durability.
+func TestDurabilitySurfaceOnPlainMaps(t *testing.T) {
+	m := skiphash.NewInt64[int64](skiphash.Config{})
+	defer m.Close()
+	if err := m.Snapshot(); !errors.Is(err, skiphash.ErrNotDurable) {
+		t.Fatalf("Snapshot on plain map: %v", err)
+	}
+	if err := m.Sync(); !errors.Is(err, skiphash.ErrNotDurable) {
+		t.Fatalf("Sync on plain map: %v", err)
+	}
+	s := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 2})
+	defer s.Close()
+	if err := s.Snapshot(); !errors.Is(err, skiphash.ErrNotDurable) {
+		t.Fatalf("Snapshot on plain sharded map: %v", err)
+	}
+}
+
+// TestIsolatedShardCountPinned: reopening an isolated durable map with
+// a different shard count must fail instead of splitting key history
+// across incomparable clock domains.
+func TestIsolatedShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	cfg := skiphash.Config{Shards: 4, IsolatedShards: true, Durability: &skiphash.Durability{Dir: dir}}
+	s, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(1, 1)
+	s.Close()
+	cfg.Shards = 8
+	if _, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec()); err == nil {
+		t.Fatal("reopening isolated durable map with different shard count succeeded")
+	}
+
+	// A failed/crashed first open leaves some shard directories but no
+	// meta file; retrying with the intended count must succeed (nothing
+	// could have been written before the first Open returned).
+	dir2 := t.TempDir()
+	for _, sub := range []string{"shard-000", "shard-002"} {
+		if err := os.MkdirAll(filepath.Join(dir2, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg2 := skiphash.Config{Shards: 4, IsolatedShards: true, Durability: &skiphash.Durability{Dir: dir2}}
+	s2, err := skiphash.OpenInt64Sharded[int64](cfg2, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("retry after partial first open: %v", err)
+	}
+	s2.Insert(9, 9)
+	s2.Close()
+	// And now the count is pinned.
+	cfg2.Shards = 2
+	if _, err := skiphash.OpenInt64Sharded[int64](cfg2, skiphash.Int64Codec()); err == nil {
+		t.Fatal("pinned shard count not enforced after meta write")
+	}
+}

@@ -65,6 +65,42 @@
 // batch whose keys span shards fails with ErrCrossShard rather than
 // silently losing atomicity.
 //
+// # Durability and recovery
+//
+// Setting Config.Durability and constructing through Open (or
+// OpenInt64, OpenSharded, OpenInt64Sharded) makes the map persistent:
+// every committed insert, remove and Atomic batch is appended to a
+// CRC-framed write-ahead log tagged with its STM commit stamp — the
+// paper's global-version clock gives the log a total order for free —
+// and background snapshots, taken in chunked consistent reads while
+// writers proceed, bound replay and truncate covered segments. Open
+// recovers the newest valid snapshot plus the strictly-newer log tail,
+// tolerating a torn final record after a crash and rejecting checksum
+// corruption with an error matching ErrCorrupt.
+//
+// The fsync-policy contract (Durability.Fsync): FsyncAlways
+// group-commits — when an update returns, its record is fsynced, so a
+// crash loses nothing acknowledged; FsyncInterval (the default) fsyncs
+// in the background at least every Durability.FsyncEvery, bounding loss
+// to that window; FsyncNone never fsyncs while running and is only as
+// durable as the OS page cache (power loss can cost everything since
+// the last snapshot or Sync). All policies flush and fsync on a clean
+// Close; Map.Sync forces durability on demand and Map.Snapshot writes a
+// snapshot now. Atomic batches are single log records: recovery sees a
+// batch entirely or not at all, including batches spanning shards on
+// the shared-runtime sharded map.
+//
+// Operations report their in-memory result; they cannot individually
+// report a durability failure (by the time the log is involved, the
+// transaction has committed). A log I/O error — a full or failing disk
+// — is sticky: from that point the engine stops logging, and Map.Sync,
+// Map.Snapshot and the Persister's Err all return the error. Map.Close
+// flushes but cannot return it (Close has no error result), so a
+// checked shutdown is Sync then Close. Deployments that must bound
+// data loss under disk failure should check Sync at checkpoints
+// (FsyncAlways callers: Err after critical writes) rather than rely on
+// per-operation acknowledgments.
+//
 // # Handle lifecycle and maintenance
 //
 // Removals defer their physical unstitching through per-handle buffers
