@@ -83,12 +83,8 @@ func persistSubjects(buckets int) []persistSubject {
 // GOMAXPROCS-scaled) on the write-heavy mix. WAL directories are
 // created under baseDir (a temp dir when empty) and removed afterwards.
 func Persist(w io.Writer, baseDir string, opts Options) error {
-	userThreads := opts.Threads
 	opts = opts.withDefaults()
 	threads := opts.Threads[len(opts.Threads)-1]
-	if len(userThreads) > 0 {
-		threads = userThreads[len(userThreads)-1]
-	}
 	wl := PersistWorkload
 	wl.Universe = opts.Universe
 	buckets := thashmap.DefaultBuckets

@@ -258,9 +258,10 @@ func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash fu
 // with Quiesce, and with other Close calls: every call returns only
 // after teardown (including the durability flush) has completed, no
 // matter which call performed it. Operations issued after Close fall
-// back to inline reclamation and are no longer logged. Maps without
-// maintenance or durability may skip Close; nothing leaks beyond the
-// map itself.
+// back to inline reclamation and are no longer logged — on durable maps
+// the engine counts them and reports the divergence through its Err.
+// Maps without maintenance or durability may skip Close; nothing leaks
+// beyond the map itself.
 func (m *Map[K, V]) Close() {
 	if m.closed.Swap(true) {
 		<-m.closeDone

@@ -33,28 +33,38 @@ func (m *Map[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []
 	defer m.releaseClean(h)
 	var cursor K
 	haveCursor := false
+	// cursorLive records whether the node the previous chunk ended on was
+	// live (emitted). Only then may the resume step skip past a ceil node
+	// whose key equals the cursor: when the chunk ended on a logically
+	// deleted node, a live reinserted node with the same key sits after it
+	// in the chain (inserts land after deleted same-key nodes), is what
+	// ceilNodeTx returns via the index, and was never emitted — advancing
+	// past it would drop the key from the snapshot.
+	cursorLive := false
 	buf := make([]Pair[K, V], 0, chunkSize)
 	var stamp uint64
 	var last K
+	lastLive := false
 	end := false
 	for {
 		buf = buf[:0]
 		_ = m.rt.Atomic(func(tx *stm.Tx) error {
 			buf = buf[:0]
 			end = false
+			lastLive = false
 			stamp = tx.Start()
 			var c *node[K, V]
 			if !haveCursor {
 				c = m.head.next[0].Load(tx, &m.head.orec)
 			} else {
 				c = m.ceilNodeTx(tx, h, cursor)
-				if c.sentinel == 0 && !m.less(cursor, c.key) {
+				if cursorLive && c.sentinel == 0 && !m.less(cursor, c.key) {
 					c = c.next[0].Load(tx, &c.orec)
 				}
 			}
 			scanned := 0
 			for c.sentinel == 0 && len(buf) < chunkSize && scanned < maxScan {
-				if !c.deleted(tx) {
+				if lastLive = !c.deleted(tx); lastLive {
 					buf = append(buf, Pair[K, V]{Key: c.key, Val: c.val})
 				}
 				last = c.key
@@ -73,6 +83,7 @@ func (m *Map[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []
 			return nil
 		}
 		cursor = last
+		cursorLive = lastLive
 		haveCursor = true
 	}
 }

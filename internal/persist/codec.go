@@ -96,8 +96,10 @@ func Float64Codec() Codec[float64] {
 }
 
 // BytesCodec encodes a byte slice as a uvarint length prefix plus the
-// bytes. Decoded slices alias the recovery buffer; callers that retain
-// them across recovery must copy.
+// bytes. Read copies the payload out of src: recovery decodes from
+// whole-file buffers and inserts the values into the map, so an aliasing
+// slice would pin an entire snapshot or WAL segment in memory for as
+// long as one of its values stays live.
 func BytesCodec() Codec[[]byte] {
 	return Codec[[]byte]{
 		Append: func(dst []byte, v []byte) []byte {
@@ -112,23 +114,31 @@ func BytesCodec() Codec[[]byte] {
 			if uint64(len(src)-n) < ln {
 				return nil, 0, fmt.Errorf("persist: bytes length %d exceeds remaining %d", ln, len(src)-n)
 			}
-			return src[n : n+int(ln)], n + int(ln), nil
+			out := make([]byte, ln)
+			copy(out, src[n:n+int(ln)])
+			return out, n + int(ln), nil
 		},
 	}
 }
 
 // StringCodec encodes a string as a uvarint length prefix plus its
-// bytes.
+// bytes. The string conversion in Read is itself the copy out of the
+// recovery buffer.
 func StringCodec() Codec[string] {
-	b := BytesCodec()
 	return Codec[string]{
 		Append: func(dst []byte, v string) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(v)))
 			return append(dst, v...)
 		},
 		Read: func(src []byte) (string, int, error) {
-			raw, n, err := b.Read(src)
-			return string(raw), n, err
+			ln, n, err := readUvarint(src)
+			if err != nil {
+				return "", 0, err
+			}
+			if uint64(len(src)-n) < ln {
+				return "", 0, fmt.Errorf("persist: string length %d exceeds remaining %d", ln, len(src)-n)
+			}
+			return string(src[n : n+int(ln)]), n + int(ln), nil
 		},
 	}
 }

@@ -214,6 +214,76 @@ func TestFsyncAlwaysDurableBeforeReturn(t *testing.T) {
 	}
 }
 
+// TestUnloggedCommitAfterCloseReported: a transaction that commits
+// while the log is closing (or closed) cannot be appended — its
+// in-memory effect silently diverges from disk unless the engine
+// reports it. The loss must surface through Err and a late Close, not
+// vanish behind the operation's in-memory success.
+func TestUnloggedCommitAfterCloseReported(t *testing.T) {
+	dir := t.TempDir()
+	st := openInt64Store(t, Options{Dir: dir, Fsync: FsyncAlways})
+	rt := stm.New()
+	var ws writeScratch
+	logTx(t, rt, &ws, func(tx *stm.Tx) { st.LogPut(tx, 1, 10) })
+	if err := st.Close(); err != nil {
+		t.Fatalf("clean Close: %v", err)
+	}
+	logTx(t, rt, &ws, func(tx *stm.Tx) { st.LogPut(tx, 2, 20) })
+	if err := st.Err(); err == nil {
+		t.Fatal("commit racing/after Close was dropped without Err reporting it")
+	}
+	if err := st.Close(); err == nil {
+		t.Fatal("second Close did not report the unlogged commit")
+	}
+}
+
+// TestSnapshotStraddlingBatchSurvivesCrash: a record logged between two
+// snapshot chunks straddles the snapshot — one key's chunk predates it,
+// the other's reflects it. Snapshot must sync the WAL before the rename
+// publishes the snapshot as the recovery source; otherwise a crash
+// loses the record and recovery applies the batch to one key but not
+// the other, violating batch atomicity.
+func TestSnapshotStraddlingBatchSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	// FsyncNone with an hour-long write-out cadence: nothing reaches the
+	// file unless Snapshot itself syncs it.
+	opts := Options{Dir: dir, Fsync: FsyncNone, FsyncEvery: time.Hour, SnapshotBytes: -1}
+	st := openInt64Store(t, opts)
+	rt := stm.New()
+	var ws writeScratch
+	// Durable baseline for both keys.
+	logTx(t, rt, &ws, func(tx *stm.Tx) { st.LogPut(tx, 1, 10) })
+	logTx(t, rt, &ws, func(tx *stm.Tx) { st.LogPut(tx, 2, 10) })
+	if err := st.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// The source plays the role of SnapshotChunks racing a writer: key
+	// 2's chunk is emitted before a batch updates both keys, key 1's
+	// chunk after, reflecting it.
+	st.Start(func(chunkSize int, emit func(uint64, []KV[int64, int64]) error) error {
+		if err := emit(rt.Clock().Read(), []KV[int64, int64]{{Key: 2, Val: 10}}); err != nil {
+			return err
+		}
+		logTx(t, rt, &ws, func(tx *stm.Tx) {
+			st.LogPut(tx, 1, 20)
+			st.LogPut(tx, 2, 20)
+		})
+		return emit(rt.Clock().Read()+1, []KV[int64, int64]{{Key: 1, Val: 20}})
+	})
+	if err := st.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := st.SimulateCrash(); err != nil {
+		t.Fatalf("SimulateCrash: %v", err)
+	}
+	st2 := openInt64Store(t, opts)
+	defer st2.Close()
+	got := recoveredMap(st2)
+	if got[1] != 20 || got[2] != 20 {
+		t.Fatalf("straddling batch recovered partially: got %v, want both keys = 20", got)
+	}
+}
+
 // TestTornTailTolerated: a crash that tears the last record leaves a
 // recoverable prefix, and the repaired file recovers identically again.
 func TestTornTailTolerated(t *testing.T) {

@@ -93,9 +93,14 @@ func scanDir(dir string) (dirState, error) {
 // tolerance: in the newest segment an incomplete frame at EOF is a
 // crash artifact — parsing stops and the good prefix length is
 // returned for repair; anywhere else it is corruption. A checksum
-// mismatch is corruption everywhere: fsync ordering never tears the
-// middle of a record without also tearing its end, but a flipped bit
-// does.
+// mismatch is corruption everywhere — a deliberate trade-off. Past the
+// last fsync horizon, out-of-order page persistence after power loss
+// could in principle leave a mismatching frame followed by valid bytes
+// (not the clean prefix tear or zero-fill handled below), but recovery
+// cannot tell that apart from a flipped bit in acknowledged data: the
+// sync horizon is not persisted. Truncating on mismatch would silently
+// discard records a user may have been promised, so recovery refuses
+// with a CorruptionError and leaves the choice to the operator.
 func readSegment(meta *segMeta, last bool, recs []walRecord) ([]walRecord, int64, bool, error) {
 	data, err := os.ReadFile(meta.path)
 	if err != nil {

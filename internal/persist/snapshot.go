@@ -209,7 +209,7 @@ func readSnapshot[K comparable, V any](path string, kc Codec[K], vc Codec[V], st
 	return minStamp, maxStamp, nil
 }
 
-// removeMatching deletes directory entries the keep set does not cover.
+// removeFiles deletes the named directory entries, ignoring errors.
 func removeFiles(dir string, names []string) {
 	for _, n := range names {
 		os.Remove(filepath.Join(dir, n))

@@ -167,8 +167,9 @@ func (s *Store[K, V]) bufFor(tx *stm.Tx) *txBuf {
 		if s.opts.Fsync == FsyncAlways && b.err == nil {
 			// The wait's error is not returned to the operation: the
 			// transaction has already committed in memory and cannot be
-			// un-acknowledged. Both failure paths (append error, failed
-			// fsync) are sticky engine state that Err/Sync/Close report.
+			// un-acknowledged. Every failure path is sticky engine state
+			// that Err/Sync/Close report — I/O errors via w.err, and an
+			// append rejected by a racing Close via the unlogged counter.
 			s.w.waitDurable(b.lsn)
 		}
 		b.owner = nil
@@ -269,6 +270,18 @@ func (s *Store[K, V]) Snapshot() error {
 		os.Remove(tmp)
 		return err
 	}
+	// The chunks read committed in-memory state whose WAL records may
+	// still sit in the append buffer (FsyncNone/Interval). A record that
+	// straddles the snapshot — logged between two chunks, so one key's
+	// chunk predates it and another's reflects it — must be durable
+	// before the snapshot becomes the recovery source, or a crash would
+	// recover the straddled update partially (breaking batch atomicity)
+	// instead of losing it wholesale. Sync the WAL up through everything
+	// the chunks could have observed before the rename publishes them.
+	if err := s.w.sync(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	final := filepath.Join(s.opts.Dir, snapName(seq))
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
@@ -301,14 +314,19 @@ func (s *Store[K, V]) Snapshot() error {
 // of the fsync policy.
 func (s *Store[K, V]) Sync() error { return s.w.sync() }
 
-// Err returns the sticky background error, if any: a WAL I/O failure,
-// or — when the log itself is healthy — the most recent background
-// snapshot failure (cleared by the next snapshot that succeeds). This
-// is the one probe that observes every way the engine can silently
-// degrade.
+// Err returns the sticky background error, if any. Permanent, in
+// precedence order: a WAL I/O failure, then unlogged commits (ops that
+// committed in memory while the log was closing or closed — that
+// divergence from disk never clears). When the log is healthy: the most
+// recent background snapshot failure, cleared by the next snapshot that
+// succeeds. This is the one probe that observes every way the engine
+// can silently degrade.
 func (s *Store[K, V]) Err() error {
 	s.w.mu.Lock()
 	werr := s.w.err
+	if werr == nil {
+		werr = s.w.unloggedErrLocked()
+	}
 	s.w.mu.Unlock()
 	if werr != nil {
 		return werr

@@ -120,6 +120,12 @@ type wal struct {
 	closing     bool  // rejects new appends while Close drains
 	closed      bool
 	crashed     bool
+	// unlogged counts committed transactions whose append was rejected
+	// because the log was closing or closed — in-memory state that
+	// diverged from disk. Surfaced by close and the store's Err so a
+	// commit racing Close is reported, never silently dropped (a
+	// simulated crash intentionally stops logging and does not count).
+	unlogged uint64
 
 	// ioMu guards the segment files themselves.
 	ioMu   sync.Mutex
@@ -201,6 +207,9 @@ func (w *wal) appendRecord(stamp uint64, count int, ops []byte) (lsn int64, err 
 		return 0, err
 	}
 	if w.closing || w.closed {
+		if !w.crashed {
+			w.unlogged++
+		}
 		w.mu.Unlock()
 		return 0, ErrClosed
 	}
@@ -341,6 +350,16 @@ func (w *wal) flush(sync bool) {
 	}
 }
 
+// unloggedErrLocked reports transactions that committed in memory while
+// the log was closing or closed and so were never appended; callers
+// hold w.mu.
+func (w *wal) unloggedErrLocked() error {
+	if w.unlogged == 0 {
+		return nil
+	}
+	return fmt.Errorf("persist: %d committed operations were not logged (commit raced or followed Close)", w.unlogged)
+}
+
 // setErrLocked records a sticky background error and wakes waiters;
 // callers hold w.mu.
 func (w *wal) setErrLocked(err error) {
@@ -370,8 +389,9 @@ func (w *wal) openSegmentLocked() error {
 	return nil
 }
 
-// adoptSegmentLocked reuses an existing (tail-repaired) segment as the
-// active one, appending at its end; callers hold ioMu.
+// adoptSegment reuses an existing (tail-repaired) segment as the active
+// one, appending at its end. It takes ioMu itself; callers must not hold
+// it.
 func (w *wal) adoptSegment(meta segMeta) error {
 	f, err := os.OpenFile(meta.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -485,6 +505,9 @@ func (w *wal) close() error {
 			w.durable.Wait()
 		}
 		err := w.err
+		if err == nil {
+			err = w.unloggedErrLocked()
+		}
 		w.mu.Unlock()
 		return err
 	}
@@ -506,6 +529,9 @@ func (w *wal) close() error {
 	w.closed = true
 	w.durable.Broadcast()
 	err := w.err
+	if err == nil {
+		err = w.unloggedErrLocked()
+	}
 	w.mu.Unlock()
 	return err
 }

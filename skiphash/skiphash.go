@@ -94,9 +94,13 @@
 // report a durability failure (by the time the log is involved, the
 // transaction has committed). A log I/O error — a full or failing disk
 // — is sticky: from that point the engine stops logging, and Map.Sync,
-// Map.Snapshot and the Persister's Err all return the error. Map.Close
-// flushes but cannot return it (Close has no error result), so a
-// checked shutdown is Sync then Close. Deployments that must bound
+// Map.Snapshot and the Persister's Err all return the error. An update
+// that commits while Close is already draining (or after it) cannot be
+// logged either; the divergence is counted and reported by Err and the
+// Persister's Close, so quiesce writers before Close when every
+// acknowledged update must be durable. Map.Close flushes but cannot
+// return an error (Close has no error result), so a checked shutdown is
+// Sync then Close, then Persister().Err(). Deployments that must bound
 // data loss under disk failure should check Sync at checkpoints
 // (FsyncAlways callers: Err after critical writes) rather than rely on
 // per-operation acknowledgments.
