@@ -1,0 +1,230 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// freshly recorded skipbench -json report against a committed
+// BENCH_*.json baseline and fails (exit 1) when any matched data point
+// regressed by more than the threshold.
+//
+// Rows are matched on their full identity (experiment, workload, map,
+// threads, shards, range length, window, fsync policy, transport,
+// pipeline depth) and only compared when the two reports' recording
+// environments agree on GOOS/GOARCH/GOMAXPROCS/NumCPU — committed
+// baselines come from whatever machine recorded them, and a throughput
+// comparison across different hardware is noise, not signal. A pair
+// whose environments differ is skipped with a note (override with
+// -ignore-env); so is a current row with no baseline counterpart.
+//
+// Usage:
+//
+//	benchdiff [-threshold pct] [-warn] [-ignore-env] baseline.json:current.json ...
+//
+// Each positional argument is one baseline:current pair. With -warn the
+// exit status stays 0 and regressions are only reported — the PR lane
+// runs warn-only (quick-mode numbers on shared runners jitter), the
+// nightly lane runs enforcing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// report mirrors bench.Report.WriteJSON's output shape.
+type report struct {
+	Env  bench.Env   `json:"env"`
+	Rows []bench.Row `json:"rows"`
+}
+
+func loadReport(path string) (report, error) {
+	var r report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// envComparable reports whether two recording environments produce
+// comparable throughput numbers: same platform, same scheduler
+// parallelism, same core count. Toolchain version differences are
+// deliberately tolerated (the CI matrix varies them) but surfaced by
+// the caller as a note.
+func envComparable(a, b bench.Env) bool {
+	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH &&
+		a.GOMAXPROCS == b.GOMAXPROCS && a.NumCPU == b.NumCPU
+}
+
+// key is a row's full identity: two rows with equal keys measure the
+// same data point.
+func key(r bench.Row) string {
+	window := ""
+	if r.Window != nil {
+		window = fmt.Sprint(*r.Window)
+	}
+	return strings.Join([]string{
+		r.Experiment, r.Workload, r.Map,
+		fmt.Sprint(r.Threads), fmt.Sprint(r.Shards), fmt.Sprint(r.RangeLen),
+		fmt.Sprint(r.Universe), window, r.Fsync, r.Transport, fmt.Sprint(r.Pipeline),
+	}, "|")
+}
+
+// metric is one comparable throughput measurement of a row.
+type metric struct {
+	name string
+	val  func(bench.Row) float64
+}
+
+// metrics are the throughput measurements the gate compares; a metric
+// participates when the baseline row reports it positive — a current
+// value that dropped to zero is then a full (-100%) regression, not a
+// skip.
+var metrics = []metric{
+	{"mops", func(r bench.Row) float64 { return r.Mops }},
+	{"update_mops", func(r bench.Row) float64 { return r.UpdateMops }},
+	{"range_mpairs", func(r bench.Row) float64 { return r.RangeMpairs }},
+}
+
+// delta is one compared measurement.
+type delta struct {
+	key       string
+	metric    string
+	base, cur float64
+	// changePct is (cur-base)/base*100; negative = slower.
+	changePct float64
+}
+
+// compare matches cur's rows against base's and returns every
+// comparable measurement plus the counts of rows on either side that
+// had no counterpart — a baseline row nothing matches anymore means
+// the gate's coverage shrank, which the caller must surface rather
+// than let a report that matches nothing read as a clean pass.
+func compare(base, cur report) (deltas []delta, unmatchedCur, unmatchedBase int) {
+	index := make(map[string]bench.Row, len(base.Rows))
+	matched := make(map[string]bool, len(base.Rows))
+	for _, r := range base.Rows {
+		index[key(r)] = r
+	}
+	for _, r := range cur.Rows {
+		b, ok := index[key(r)]
+		if !ok {
+			unmatchedCur++
+			continue
+		}
+		matched[key(r)] = true
+		for _, m := range metrics {
+			bv, cv := m.val(b), m.val(r)
+			if bv <= 0 || cv < 0 || (bv == 0 && cv == 0) {
+				continue
+			}
+			deltas = append(deltas, delta{
+				key: key(r), metric: m.name, base: bv, cur: cv,
+				changePct: (cv - bv) / bv * 100,
+			})
+		}
+	}
+	for k := range index {
+		if !matched[k] {
+			unmatchedBase++
+		}
+	}
+	return deltas, unmatchedCur, unmatchedBase
+}
+
+// regressions filters deltas slower than -threshold%.
+func regressions(deltas []delta, thresholdPct float64) []delta {
+	var out []delta
+	for _, d := range deltas {
+		if d.changePct < -thresholdPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 25, "regression threshold in percent")
+		warn      = flag.Bool("warn", false, "report regressions but exit 0")
+		ignoreEnv = flag.Bool("ignore-env", false, "compare even when recording environments differ")
+		// An enforcing lane sets -min-compared so a comparison that
+		// silently matched nothing (drifted row keys, skipped envs)
+		// fails loudly instead of reading as a clean pass.
+		minCompared = flag.Int("min-compared", 0, "fail unless at least this many measurements compared overall")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-warn] [-ignore-env] [-min-compared n] baseline.json:current.json ...")
+		os.Exit(2)
+	}
+
+	failed := false
+	totalCompared := 0
+	for _, pair := range flag.Args() {
+		basePath, curPath, ok := strings.Cut(pair, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad pair %q (want baseline.json:current.json)\n", pair)
+			os.Exit(2)
+		}
+		base, err := loadReport(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadReport(curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s vs %s\n", basePath, curPath)
+		if !envComparable(base.Env, cur.Env) {
+			if !*ignoreEnv {
+				fmt.Printf("   SKIP: environments differ (baseline %s/%s %d cpu maxprocs %d, current %s/%s %d cpu maxprocs %d); throughput not comparable\n",
+					base.Env.GOOS, base.Env.GOARCH, base.Env.NumCPU, base.Env.GOMAXPROCS,
+					cur.Env.GOOS, cur.Env.GOARCH, cur.Env.NumCPU, cur.Env.GOMAXPROCS)
+				continue
+			}
+			fmt.Printf("   note: environments differ, compared anyway (-ignore-env)\n")
+		}
+		if base.Env.GoVersion != cur.Env.GoVersion {
+			fmt.Printf("   note: toolchains differ (%s vs %s)\n", base.Env.GoVersion, cur.Env.GoVersion)
+		}
+		deltas, unmatchedCur, unmatchedBase := compare(base, cur)
+		regs := regressions(deltas, *threshold)
+		totalCompared += len(deltas)
+		fmt.Printf("   %d measurements compared, %d current rows without baseline, %d baseline rows no longer measured\n",
+			len(deltas), unmatchedCur, unmatchedBase)
+		for _, d := range regs {
+			fmt.Printf("   REGRESSION %s %s: %.3f -> %.3f (%.1f%%, threshold -%.0f%%)\n",
+				d.key, d.metric, d.base, d.cur, d.changePct, *threshold)
+		}
+		if len(regs) > 0 {
+			failed = true
+		} else if len(deltas) > 0 {
+			worst := 0.0
+			for _, d := range deltas {
+				if d.changePct < worst {
+					worst = d.changePct
+				}
+			}
+			fmt.Printf("   ok (worst change %.1f%%)\n", worst)
+		}
+	}
+	if totalCompared < *minCompared {
+		fmt.Printf("benchdiff: only %d measurements compared, need %d — the gate has lost its coverage\n",
+			totalCompared, *minCompared)
+		failed = true
+	}
+	if failed {
+		if *warn {
+			fmt.Println("benchdiff: problems found (warn-only mode, not failing)")
+			return
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func writeReport(t *testing.T, path string, rows []bench.Row) {
+	t.Helper()
+	r := &bench.Report{}
+	for _, row := range rows {
+		r.Add(row)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareMatchesOnFullKey(t *testing.T) {
+	base := report{Rows: []bench.Row{
+		{Experiment: "shards", Map: "skiphash-sharded-8", Threads: 8, Shards: 8, Mops: 10},
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "tcp", Pipeline: 64, Mops: 4},
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "tcp", Pipeline: 1, Mops: 1},
+	}}
+	cur := report{Rows: []bench.Row{
+		{Experiment: "shards", Map: "skiphash-sharded-8", Threads: 8, Shards: 8, Mops: 9.5},
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "tcp", Pipeline: 64, Mops: 2}, // -50%
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "unix", Pipeline: 1, Mops: 1}, // no baseline
+	}}
+	deltas, unmatched, unmatchedBase := compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d measurements, want 2: %+v", len(deltas), deltas)
+	}
+	if unmatched != 1 {
+		t.Fatalf("unmatched current = %d, want 1", unmatched)
+	}
+	if unmatchedBase != 1 {
+		t.Fatalf("unmatched baseline = %d, want 1 (the closed-loop tcp row cur no longer measures)", unmatchedBase)
+	}
+	regs := regressions(deltas, 25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the pipelined tcp row", regs)
+	}
+	if regs[0].base != 4 || regs[0].cur != 2 {
+		t.Fatalf("wrong regression: %+v", regs[0])
+	}
+}
+
+func TestCompareSplitMetrics(t *testing.T) {
+	base := report{Rows: []bench.Row{
+		{Experiment: "fig6", Map: "skiphash-two-path", RangeLen: 100, UpdateMops: 2, RangeMpairs: 30},
+	}}
+	cur := report{Rows: []bench.Row{
+		{Experiment: "fig6", Map: "skiphash-two-path", RangeLen: 100, UpdateMops: 1.9, RangeMpairs: 10},
+	}}
+	deltas, _, _ := compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d measurements, want 2 (update + range)", len(deltas))
+	}
+	regs := regressions(deltas, 25)
+	if len(regs) != 1 || regs[0].metric != "range_mpairs" {
+		t.Fatalf("regressions = %+v, want only range_mpairs", regs)
+	}
+}
+
+func TestZeroMetricsNotCompared(t *testing.T) {
+	// A baseline row without a metric (omitted zero) must not divide by
+	// zero or produce a phantom regression.
+	base := report{Rows: []bench.Row{{Experiment: "churn", Map: "m", Mops: 0}}}
+	cur := report{Rows: []bench.Row{{Experiment: "churn", Map: "m", Mops: 5}}}
+	deltas, _, _ := compare(base, cur)
+	if len(deltas) != 0 {
+		t.Fatalf("zero baseline compared: %+v", deltas)
+	}
+}
+
+func TestWindowDistinguishesChurnRows(t *testing.T) {
+	w0, w1 := 0, 1
+	base := report{Rows: []bench.Row{
+		{Experiment: "churn", Map: "m", Window: &w0, Mops: 10},
+		{Experiment: "churn", Map: "m", Window: &w1, Mops: 1},
+	}}
+	cur := report{Rows: []bench.Row{
+		{Experiment: "churn", Map: "m", Window: &w1, Mops: 1},
+		{Experiment: "churn", Map: "m", Window: &w0, Mops: 10},
+	}}
+	deltas, unmatched, unmatchedBase := compare(base, cur)
+	if len(deltas) != 2 || unmatched != 0 || unmatchedBase != 0 {
+		t.Fatalf("deltas=%d unmatched=%d/%d, want 2/0/0", len(deltas), unmatched, unmatchedBase)
+	}
+	if regs := regressions(deltas, 25); len(regs) != 0 {
+		t.Fatalf("false regressions across windows: %+v", regs)
+	}
+}
+
+func TestEnvComparable(t *testing.T) {
+	a := bench.Env{GoVersion: "go1.23.4", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8}
+	b := a
+	b.GoVersion = "go1.24.0"
+	if !envComparable(a, b) {
+		t.Fatal("toolchain-only difference must stay comparable")
+	}
+	c := a
+	c.NumCPU = 16
+	if envComparable(a, c) {
+		t.Fatal("different core counts must not be comparable")
+	}
+	d := a
+	d.GOARCH = "arm64"
+	if envComparable(a, d) {
+		t.Fatal("different architectures must not be comparable")
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	writeReport(t, path, []bench.Row{
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "unix", Pipeline: 64, Mops: 3.5},
+	})
+	r, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Transport != "unix" || r.Rows[0].Pipeline != 64 {
+		t.Fatalf("round trip lost fields: %+v", r.Rows)
+	}
+	if r.Env.GoVersion == "" || r.Env.NumCPU == 0 {
+		t.Fatalf("env header missing: %+v", r.Env)
+	}
+}
+
+func TestCommittedBaselinesLoad(t *testing.T) {
+	// The committed baselines at the repository root must stay readable
+	// by the gate, whatever machine recorded them.
+	for _, name := range []string{"BENCH_shards.json", "BENCH_churn.json", "BENCH_persist.json", "BENCH_net.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		r, err := loadReport(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("%s: no rows", name)
+		}
+		if r.Env.NumCPU == 0 {
+			t.Fatalf("%s: missing env header", name)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	skipbench shards           # shard-count sweep of the sharded variant
 //	skipbench churn            # handle-churn windows: range throughput over time
 //	skipbench persist          # durability overhead: WAL off vs fsync policies
+//	skipbench net              # serving layer: closed-loop vs pipelined clients
 //	skipbench all              # everything
 //
 // Flags:
@@ -112,6 +113,8 @@ func main() {
 		err = bench.Churn(os.Stdout, *windows, opts)
 	case "persist":
 		err = bench.Persist(os.Stdout, *dir, opts)
+	case "net":
+		err = bench.Net(os.Stdout, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -137,6 +140,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Persist(os.Stdout, *dir, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Net(os.Stdout, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -186,7 +193,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

@@ -1,0 +1,165 @@
+// Command skiphashd serves a skip hash over the wire protocol
+// (internal/wire) on TCP and/or a unix socket.
+//
+// The served map is the sharded skip hash; -shards 1 degenerates to a
+// single shard and -isolated switches to per-shard STM runtimes (then
+// atomic batches must stay within one shard). With -dir the map is
+// durable: it is recovered from the directory on start, every
+// committed update is written to the commit-stamp-ordered WAL under
+// the chosen -fsync policy, and a clean shutdown syncs before closing.
+//
+// Shutdown is signal-driven: SIGINT/SIGTERM stops accepting, drains
+// in-flight pipelined requests (bounded by -drain-timeout), quiesces
+// the map's removal buffers, syncs the WAL, and closes the map.
+//
+// Usage:
+//
+//	skiphashd [-addr host:port] [-unix path]
+//	          [-shards n] [-isolated] [-maintenance]
+//	          [-dir path] [-fsync none|interval|always] [-fsync-every d]
+//	          [-max-conns n] [-max-batch n] [-write-timeout d] [-idle-timeout d]
+//	          [-drain-timeout d] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/skiphash"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7466", "TCP listen address (empty disables)")
+		unixPath     = flag.String("unix", "", "unix socket path (empty disables)")
+		shards       = flag.Int("shards", 0, "shard count (0 derives from GOMAXPROCS)")
+		isolated     = flag.Bool("isolated", false, "per-shard STM runtimes (batches must stay within one shard)")
+		maintenance  = flag.Bool("maintenance", true, "background reclamation maintainer")
+		dir          = flag.String("dir", "", "durability directory (empty = in-memory only)")
+		fsync        = flag.String("fsync", "interval", "WAL fsync policy: none, interval, always")
+		fsyncEvery   = flag.Duration("fsync-every", 0, "interval policy's fsync period (0 = engine default)")
+		maxConns     = flag.Int("max-conns", 256, "connection limit")
+		maxBatch     = flag.Int("max-batch", 64, "max pipelined requests coalesced into one transaction")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client response deadline")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	)
+	flag.Parse()
+	if *addr == "" && *unixPath == "" {
+		log.Fatal("skiphashd: nothing to listen on (-addr and -unix both empty)")
+	}
+
+	cfg := skiphash.Config{
+		Shards:         *shards,
+		IsolatedShards: *isolated,
+		Maintenance:    *maintenance,
+	}
+	if *dir != "" {
+		var policy skiphash.FsyncPolicy
+		switch *fsync {
+		case "none":
+			policy = skiphash.FsyncNone
+		case "interval":
+			policy = skiphash.FsyncInterval
+		case "always":
+			policy = skiphash.FsyncAlways
+		default:
+			log.Fatalf("skiphashd: unknown -fsync policy %q", *fsync)
+		}
+		cfg.Durability = &skiphash.Durability{Dir: *dir, Fsync: policy, FsyncEvery: *fsyncEvery}
+	}
+	m, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	if err != nil {
+		log.Fatalf("skiphashd: open: %v", err)
+	}
+
+	srvCfg := server.Config{
+		MaxConns:     *maxConns,
+		MaxBatch:     *maxBatch,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
+	if !*quiet {
+		srvCfg.Logf = log.Printf
+	}
+	srv := server.New(server.NewShardedBackend(m), srvCfg)
+
+	var wg sync.WaitGroup
+	serveErrs := make(chan error, 2)
+	listen := func(network, laddr string) {
+		ln, err := net.Listen(network, laddr)
+		if err != nil {
+			log.Fatalf("skiphashd: listen %s %s: %v", network, laddr, err)
+		}
+		log.Printf("skiphashd: serving %d shards on %s://%s (durability: %s)",
+			m.NumShards(), network, ln.Addr(), durabilityDesc(*dir, *fsync))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(ln); err != nil {
+				serveErrs <- fmt.Errorf("serve %s://%s: %w", network, laddr, err)
+			}
+		}()
+	}
+	if *addr != "" {
+		listen("tcp", *addr)
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) // a stale socket from a previous run refuses rebinding
+		listen("unix", *unixPath)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("skiphashd: %v: draining (up to %v)", sig, *drainTimeout)
+	case err := <-serveErrs:
+		log.Printf("skiphashd: %v: draining", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("skiphashd: drain incomplete: %v", err)
+	}
+	wg.Wait()
+	if *unixPath != "" {
+		os.Remove(*unixPath)
+	}
+	exit := 0
+	if *dir != "" {
+		if err := m.Sync(); err != nil {
+			log.Printf("skiphashd: final sync: %v", err)
+			exit = 1
+		}
+	}
+	m.Close()
+	if *dir != "" {
+		if p := m.Persister(); p != nil {
+			if err := p.Err(); err != nil {
+				log.Printf("skiphashd: durability engine: %v", err)
+				exit = 1
+			}
+		}
+	}
+	log.Printf("skiphashd: bye")
+	os.Exit(exit)
+}
+
+func durabilityDesc(dir, fsync string) string {
+	if dir == "" {
+		return "off"
+	}
+	return fmt.Sprintf("%s, fsync=%s", dir, fsync)
+}

@@ -18,6 +18,12 @@
 // stays bounded and a quiesced level-0 walk holds no logically-deleted
 // stitched node.
 //
+// With -net it serves a sharded map over loopback TCP (internal/server)
+// and drives the -check workload through real protocol clients
+// (skiphash/client), verifying the client-observed histories — wire
+// codec, pipelined request coalescing and all — against the sequential
+// model, then audits the served map's invariants.
+//
 // With -crash it runs the durability stress: -cycles kill/recover
 // rounds against one durability directory, alternating (a) concurrent
 // FsyncAlways rounds killed at a random operation count and audited for
@@ -35,6 +41,7 @@
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
+//	           [-net]
 package main
 
 import (
@@ -95,23 +102,31 @@ func main() {
 		check    = flag.Bool("check", false, "record histories and verify linearizability online")
 		churn    = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
 		crash    = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
+		netCheck = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
 		cycles   = flag.Int("cycles", 60, "kill/recover cycles for -crash")
 		dir      = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
 	)
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*check, *churn, *crash} {
+	for _, on := range []bool{*check, *churn, *crash, *netCheck} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn and -crash are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn, -crash and -net are mutually exclusive")
 		os.Exit(2)
 	}
 	if *crash {
 		runCrash(*cycles, *threads, *universe, *seed, *dir)
+		return
+	}
+	if *netCheck {
+		reproducer := fmt.Sprintf("go run ./cmd/skipstress -net -seed %d -threads %d -duration %v -shards %d%s",
+			*seed, *threads, *duration, *shards,
+			map[bool]string{true: " -isolated"}[*isolated])
+		runNet(*threads, *duration, *seed, *shards, *isolated, reproducer)
 		return
 	}
 	cfg := skiphash.Config{}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/linearize"
+	"repro/internal/maptest"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/skiphash"
+	"repro/skiphash/client"
+)
+
+// runNet is the serving-layer stress: it starts an in-process server
+// around a sharded skip hash, drives the seeded -check workload through
+// real protocol clients over loopback TCP, and verifies the client-side
+// invoke/return histories against the sequential ordered-map model with
+// internal/linearize — so the wire codec, the per-connection batcher's
+// coalesced transactions, and response demultiplexing are all inside
+// the checked box. After the rounds, the served map itself must pass a
+// quiescent invariant audit.
+func runNet(threads int, duration time.Duration, seed uint64,
+	shards int, isolated bool, reproducer string) {
+	const checkUniverse = 64
+	cfg := skiphash.Config{Maintenance: true, IsolatedShards: isolated}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	m := skiphash.NewInt64Sharded[int64](cfg)
+	srv := server.New(server.NewShardedBackend(m), server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipstress: listen: %v\n", err)
+		os.Exit(1)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	cl, err := client.Dial(ln.Addr().String(), client.Options{Conns: threads})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipstress: dial: %v\n", err)
+		os.Exit(1)
+	}
+	variant := fmt.Sprintf("%d shards over tcp", m.NumShards())
+	if isolated {
+		variant += " (isolated)"
+	}
+	fmt.Printf("skipstress: -net, %d client conns, %v, universe %d, seed %d, %s\n",
+		threads, duration, checkUniverse, seed, variant)
+
+	adapter := netAdapter{c: cl}
+	deadline := time.Now().Add(duration)
+	rounds, totalOps, unknowns := 0, 0, 0
+	var snapshot []linearize.KV
+	for time.Now().Before(deadline) {
+		roundSeed := seed + uint64(rounds)*1_000_003
+		opts := maptest.WorkloadOptions{
+			Clients:      threads,
+			OpsPerClient: 192,
+			Universe:     checkUniverse,
+			Seed:         roundSeed,
+			// Isolated shards merge per-shard range snapshots taken at
+			// distinct instants — deliberately not linearizable — so
+			// ranges are only checked on the shared-runtime map.
+			Ranges:  !isolated,
+			Batches: true,
+		}
+		h := maptest.RecordHistory(adapter, opts)
+		res := linearize.CheckOpts(h, linearize.Options{Initial: snapshot})
+		totalOps += len(h)
+		if res.Unknown {
+			unknowns++
+		} else if !res.Ok {
+			fmt.Fprintf(os.Stderr, "FAIL: non-linearizable served history in round %d (round seed %d), partition keys %v:\n%s",
+				rounds, roundSeed, res.PartitionKeys, linearize.FormatOps(res.Ops))
+			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+			os.Exit(1)
+		}
+		// Clients joined inside RecordHistory, so the served map is
+		// quiescent: snapshot the state the next round starts from,
+		// through the wire like everything else.
+		pairs, err := cl.Range(0, checkUniverse, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: snapshot range: %v\n", err)
+			os.Exit(1)
+		}
+		snapshot = snapshot[:0]
+		for _, p := range pairs {
+			snapshot = append(snapshot, linearize.KV{Key: p.Key, Val: p.Val})
+		}
+		rounds++
+	}
+
+	cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: server drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-served; err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: serve: %v\n", err)
+		os.Exit(1)
+	}
+	m.Quiesce()
+	if err := m.CheckInvariants(skiphash.CheckOptions{}); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: served map invariants after %d rounds: %v\n", rounds, err)
+		fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+		os.Exit(1)
+	}
+	m.Close()
+	fmt.Printf("rounds=%d ops=%d unknown=%d\n", rounds, totalOps, unknowns)
+	fmt.Println("skipstress: PASS")
+}
+
+// netAdapter exposes a protocol client through the conformance
+// interface, so the recorded history is exactly what network callers
+// observed. Transport errors are fatal: the stress tool's subject is a
+// loopback server in the same process, where any failure is a bug.
+type netAdapter struct {
+	c *client.Client
+}
+
+func (a netAdapter) fatal(op string, err error) {
+	fmt.Fprintf(os.Stderr, "skipstress: transport failure during %s: %v\n", op, err)
+	os.Exit(1)
+}
+
+func (a netAdapter) Lookup(k int64) (int64, bool) {
+	v, ok, err := a.c.Get(k)
+	if err != nil {
+		a.fatal("Get", err)
+	}
+	return v, ok
+}
+
+func (a netAdapter) Insert(k, v int64) bool {
+	ok, err := a.c.Insert(k, v)
+	if err != nil {
+		a.fatal("Insert", err)
+	}
+	return ok
+}
+
+func (a netAdapter) Remove(k int64) bool {
+	ok, err := a.c.Remove(k)
+	if err != nil {
+		a.fatal("Remove", err)
+	}
+	return ok
+}
+
+func (a netAdapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	pairs, err := a.c.Range(l, r, 0)
+	if err != nil {
+		a.fatal("Range", err)
+	}
+	for _, p := range pairs {
+		buf = append(buf, maptest.KV{Key: p.Key, Val: p.Val})
+	}
+	return buf
+}
+
+// Batch implements maptest.Batcher over the wire's atomic batch op.
+func (a netAdapter) Batch(steps []linearize.Step) bool {
+	ws := make([]wire.Step, len(steps))
+	for i, s := range steps {
+		switch s.Kind {
+		case linearize.Insert:
+			ws[i] = wire.Step{Kind: wire.StepInsert, Key: s.Key, Val: s.Val}
+		case linearize.Remove:
+			ws[i] = wire.Step{Kind: wire.StepRemove, Key: s.Key}
+		case linearize.Lookup:
+			ws[i] = wire.Step{Kind: wire.StepLookup, Key: s.Key}
+		}
+	}
+	results, err := a.c.Atomic(ws)
+	if errors.Is(err, client.ErrCrossShard) {
+		return false // rejected wholesale, no trace to linearize
+	}
+	if err != nil {
+		a.fatal("Atomic", err)
+	}
+	if len(results) != len(steps) {
+		a.fatal("Atomic", fmt.Errorf("%d results for %d steps", len(results), len(steps)))
+	}
+	for i := range steps {
+		steps[i].Ok = results[i].Ok
+		steps[i].Out = results[i].Out
+	}
+	return true
+}

@@ -256,7 +256,7 @@ func churnOne(w io.Writer, sub *churnSubject, half, windows int, universe, range
 			win, backlog, handles, drained := win, backlog, handles, sub.drained()
 			opts.Report.Add(Row{
 				Experiment: "churn", Map: sub.name, Threads: 2 * half, Window: &win,
-				UpdateMops: updMops, RangeMpairs: rngMpairs,
+				Universe: universe, UpdateMops: updMops, RangeMpairs: rngMpairs,
 				Backlog: &backlog, Handles: &handles, Drained: &drained,
 			})
 		}

@@ -121,7 +121,8 @@ func Fig5(w io.Writer, letter string, opts Options) error {
 				fmt.Fprintf(opts.CSV, "fig5%s,%s,%d,%.4f\n", letter, mf.Name, threads, res.Mops())
 			}
 			if opts.Report != nil {
-				row := Row{Experiment: "fig5" + letter, Workload: wl.Name, Map: mf.Name, Threads: threads, Mops: res.Mops()}
+				row := Row{Experiment: "fig5" + letter, Workload: wl.Name, Map: mf.Name, Threads: threads,
+					Universe: wl.Universe, Mops: res.Mops()}
 				fillSubjectStats(&row, m, stmBefore, rqBefore)
 				opts.Report.Add(row)
 			}
@@ -177,7 +178,7 @@ func Fig6(w io.Writer, opts Options) error {
 			}
 			if opts.Report != nil {
 				row := Row{Experiment: "fig6", Map: mf.Name, Threads: 2 * half, RangeLen: ln,
-					UpdateMops: res.UpdateMops(), RangeMpairs: res.RangePairsPerSec() / 1e6}
+					Universe: opts.Universe, UpdateMops: res.UpdateMops(), RangeMpairs: res.RangePairsPerSec() / 1e6}
 				fillSubjectStats(&row, m, stmBefore, rqBefore)
 				opts.Report.Add(row)
 			}
@@ -241,7 +242,7 @@ func Table1(w io.Writer, opts Options) error {
 		}
 		if opts.Report != nil {
 			opts.Report.Add(Row{Experiment: "table1", Map: m.Name(), RangeLen: ln,
-				FastCommits: s.FastCommits, FastAborts: s.FastAborts})
+				Universe: opts.Universe, FastCommits: s.FastCommits, FastAborts: s.FastAborts})
 		}
 	}
 	return nil
@@ -296,7 +297,7 @@ func Shards(w io.Writer, opts Options) error {
 			stmBefore, rqBefore := subjectSnapshots(m)
 			res := RunTrials(m, wl, rc)
 			row := Row{Experiment: "shards", Workload: wl.Name, Map: m.Name(), Threads: threads,
-				Shards: shards, Mops: res.Mops()}
+				Shards: shards, Universe: wl.Universe, Mops: res.Mops()}
 			fillSubjectStats(&row, m, stmBefore, rqBefore)
 			fmt.Fprintf(w, "%-26s %-10s %12.2f %12.4f\n", wl.Name, label, res.Mops(), row.AbortRate)
 			if opts.CSV != nil {

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/skiphash/client"
+)
+
+// The net experiment measures the serving layer: the sharded skip hash
+// behind internal/server, driven over loopback TCP and a unix socket by
+// real protocol clients. Two series per transport quantify what the
+// access boundary costs and what pipelining buys back:
+//
+//   - closed-loop: each connection issues one request and waits for its
+//     response — the per-op round-trip price (syscalls, scheduling, one
+//     STM transaction per op).
+//   - pipelined: each connection keeps a window of NetPipelineWindow
+//     requests in flight; the server coalesces each burst into a few
+//     Atomic transactions and answers with one write. This is the mode
+//     the front end is designed around, and the recorded series is
+//     expected to clear several multiples of the closed loop.
+//
+// Workers split evenly between lookups and updates, so the pipelined
+// series exercises the batcher's read/write coalescing rather than a
+// read-only fast path.
+
+// NetPipelineWindow is the pipelined series' per-connection in-flight
+// window.
+const NetPipelineWindow = 64
+
+// NetWorkload is the op mix the net experiment drives over the wire.
+var NetWorkload = Workload{Name: "50% lookup, 50% update", LookupPct: 50, UpdatePct: 50}
+
+// Net runs the serving-layer experiment: for each transport (local TCP,
+// unix socket) and each connection count in opts.Threads, a closed-loop
+// and a pipelined series against a freshly prefilled served map.
+func Net(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	wl := NetWorkload
+	wl.Universe = opts.Universe
+	for _, transport := range []string{"tcp", "unix"} {
+		if err := netTransport(w, transport, wl, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// netTransport serves one map over one transport and sweeps connection
+// counts.
+func netTransport(w io.Writer, transport string, wl Workload, opts Options) error {
+	subject := NewShardedSkipHash(0, 0, false)
+	defer subject.m.Close()
+	srv := server.New(server.NewShardedBackend(subject.m), server.Config{})
+
+	var ln net.Listener
+	var err error
+	var cleanup func()
+	switch transport {
+	case "tcp":
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		cleanup = func() {}
+	case "unix":
+		dir, derr := os.MkdirTemp("", "skipbench-net-*")
+		if derr != nil {
+			return derr
+		}
+		ln, err = net.Listen("unix", dir+"/bench.sock")
+		cleanup = func() { os.RemoveAll(dir) }
+	default:
+		return fmt.Errorf("bench: unknown net transport %q", transport)
+	}
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-served
+	}()
+	addr := ln.Addr().String()
+	network := "tcp"
+	if transport == "unix" {
+		network = "unix"
+	}
+
+	Prefill(subject, wl.Universe, opts.Seed+71)
+
+	fmt.Fprintf(w, "# Net (%s): %s, universe %d, %v x %d trials, served %s, window %d\n",
+		transport, wl.Name, wl.Universe, opts.Duration, opts.Trials, subject.Name(), NetPipelineWindow)
+	fmt.Fprintf(w, "%-8s %18s %18s %10s\n", "conns", "closed-loop Mops", "pipelined Mops", "speedup")
+	for _, conns := range opts.Threads {
+		var mops [2]float64
+		for si, window := range []int{1, NetPipelineWindow} {
+			stmBefore := subject.STMStats()
+			res, err := runNetSeries(network, addr, conns, window, wl, opts)
+			if err != nil {
+				return err
+			}
+			mops[si] = res.Mops()
+			if opts.CSV != nil {
+				fmt.Fprintf(opts.CSV, "net,%s,%d,%d,%.4f\n", transport, conns, window, res.Mops())
+			}
+			if opts.Report != nil {
+				d := subject.STMStats().Sub(stmBefore)
+				row := Row{
+					Experiment: "net",
+					Workload:   wl.Name,
+					Map:        subject.Name() + "-served",
+					Threads:    conns,
+					Shards:     subject.NumShards(),
+					Universe:   wl.Universe,
+					Transport:  transport,
+					Pipeline:   window,
+					Mops:       res.Mops(),
+					Commits:    d.Commits,
+					Aborts:     d.Aborts,
+				}
+				if total := d.Commits + d.Aborts; total > 0 {
+					row.AbortRate = float64(d.Aborts) / float64(total)
+				}
+				opts.Report.Add(row)
+			}
+		}
+		speedup := 0.0
+		if mops[0] > 0 {
+			speedup = mops[1] / mops[0]
+		}
+		fmt.Fprintf(w, "%-8d %18.3f %18.3f %9.1fx\n", conns, mops[0], mops[1], speedup)
+	}
+	return nil
+}
+
+// runNetSeries drives one data point: conns connections, each owned by
+// one goroutine keeping window requests in flight (window 1 = closed
+// loop).
+func runNetSeries(network, addr string, conns, window int, wl Workload, opts Options) (Result, error) {
+	wl = wl.withDefaults()
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	var sum Result
+	for trial := 0; trial < trials; trial++ {
+		r, err := runNetTrial(network, addr, conns, window, wl, opts.Duration, opts.Seed+uint64(trial)*1000)
+		if err != nil {
+			return sum, err
+		}
+		sum.Ops += r.Ops
+		sum.Elapsed += r.Elapsed
+	}
+	return sum, nil
+}
+
+func runNetTrial(network, addr string, conns, window int, wl Workload,
+	duration time.Duration, seed uint64) (Result, error) {
+	cl, err := client.Dial2(network, addr, client.Options{Conns: conns})
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+
+	type count struct {
+		ops uint64
+		_   [7]uint64 // pad to a cache line
+	}
+	counts := make([]count, conns)
+	errs := make(chan error, conns)
+	var start, stop sync.WaitGroup
+	done := make(chan struct{})
+	start.Add(1)
+	for i := 0; i < conns; i++ {
+		stop.Add(1)
+		go func(id int) {
+			defer stop.Done()
+			cn := cl.Conn(id)
+			rng := rand.New(rand.NewPCG(seed+uint64(id), 0x6e70))
+			calls := make([]*client.Call, 0, window)
+			reqs := make([]wire.Request, window)
+			start.Wait()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Issue one window, flush once, then wait for all of it.
+				calls = calls[:0]
+				for j := 0; j < window; j++ {
+					req := &reqs[j]
+					die := int(rng.Uint64() % 100)
+					k := int64(rng.Uint64() % uint64(wl.Universe))
+					switch {
+					case die < wl.LookupPct:
+						*req = wire.Request{Op: wire.OpGet, Key: k}
+					default:
+						if rng.Uint64()&1 == 0 {
+							*req = wire.Request{Op: wire.OpInsert, Key: k, Val: k}
+						} else {
+							*req = wire.Request{Op: wire.OpDel, Key: k}
+						}
+					}
+					call, err := cn.Start(req)
+					if err != nil {
+						errs <- err
+						return
+					}
+					calls = append(calls, call)
+				}
+				if err := cn.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for _, call := range calls {
+					if _, err := call.Wait(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				counts[id].ops += uint64(window)
+			}
+		}(i)
+	}
+	began := time.Now()
+	start.Done()
+	time.Sleep(duration)
+	close(done)
+	stop.Wait()
+	elapsed := time.Since(began)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+	var r Result
+	for i := range counts {
+		r.Ops += counts[i].ops
+	}
+	r.Elapsed = elapsed
+	return r, nil
+}

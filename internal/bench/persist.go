@@ -149,7 +149,7 @@ func Persist(w io.Writer, baseDir string, opts Options) error {
 		}
 		if opts.Report != nil {
 			row := Row{Experiment: "persist", Workload: wl.Name, Map: m.Name(), Threads: threads,
-				Mops: mops, Fsync: sub.label, WalMB: walMB, OverheadPct: overhead}
+				Universe: wl.Universe, Mops: mops, Fsync: sub.label, WalMB: walMB, OverheadPct: overhead}
 			fillSubjectStats(&row, m, stmBefore, rqBefore)
 			opts.Report.Add(row)
 		}

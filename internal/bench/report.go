@@ -41,7 +41,7 @@ func CurrentEnv() Env {
 // by the -json flag of cmd/skipbench for the perf trajectory.
 type Row struct {
 	// Experiment identifies the driver: "fig5a".."fig5f", "fig6",
-	// "table1", "shards", "churn", or "persist".
+	// "table1", "shards", "churn", "persist", or "net".
 	Experiment string `json:"experiment"`
 	// Workload is the operation mix's human name, when applicable.
 	Workload string `json:"workload,omitempty"`
@@ -53,6 +53,10 @@ type Row struct {
 	Shards int `json:"shards,omitempty"`
 	// RangeLen is the range length for fig6/table1 points.
 	RangeLen int64 `json:"range_len,omitempty"`
+	// Universe is the key universe size of the data point; quick-mode
+	// and full-mode rows measure different populations, so regression
+	// gating (cmd/benchdiff) keys on it.
+	Universe int64 `json:"universe,omitempty"`
 	// Mops is throughput in millions of operations per second.
 	Mops float64 `json:"mops,omitempty"`
 	// UpdateMops/RangeMpairs split fig6's two roles.
@@ -88,6 +92,11 @@ type Row struct {
 	Fsync       string  `json:"fsync,omitempty"`
 	WalMB       float64 `json:"wal_mb,omitempty"`
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	// Transport names the net experiment's transport ("tcp", "unix");
+	// Pipeline is its per-connection in-flight request window (1 = the
+	// closed-loop series). Threads counts client connections there.
+	Transport string `json:"transport,omitempty"`
+	Pipeline  int    `json:"pipeline,omitempty"`
 }
 
 // Report collects Rows across experiments; it is safe for concurrent

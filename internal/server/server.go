@@ -1,0 +1,658 @@
+// Package server is the skip hash's network front end: it speaks the
+// internal/wire protocol over TCP or unix sockets and executes requests
+// against an embedded map (unsharded or sharded, durable or not).
+//
+// # Pipelining and batching
+//
+// Each connection runs two goroutines. A reader decodes frames and
+// feeds a bounded queue; an executor drains the queue, coalesces runs
+// of point operations (and client batches) into single Atomic
+// transactions, and writes the responses back in request order with
+// one flush per drain cycle. A client that pipelines N requests
+// therefore pays ~one syscall and ~one STM transaction per batch
+// instead of per operation — the access-boundary batching that
+// serving-scale throughput lives or dies on. Clients that send one
+// request at a time (closed loop) see ordinary request/response
+// behavior; batching is purely opportunistic and adds no latency when
+// the queue is empty.
+//
+// Coalescing is shard-aware: on isolated-shard maps an Atomic
+// transaction must stay within one shard, so runs are additionally
+// split at shard boundaries, and a client batch whose own keys span
+// shards executes alone and fails with StatusCrossShard, exactly as
+// the embedded map's Atomic would.
+//
+// Coalescing preserves each request's semantics. Every operation in a
+// coalesced transaction takes effect at the transaction's single
+// commit point, which lies after all of the operations' invocations
+// (they were queued) and before any of their responses — a valid
+// linearization point for each of them, verified end to end by
+// skipstress -net.
+//
+// # Lifecycle
+//
+// Shutdown drains gracefully: listeners close, connection readers
+// stop accepting new frames, executors finish every request already
+// queued and flush the responses, and the map's removal buffers are
+// quiesced — wiring the network front end into the map's existing
+// Close/Quiesce lifecycle. Connections still open when the context
+// expires are force-closed.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/skiphash"
+)
+
+// Pair is the map's key/value pair type.
+type Pair = skiphash.Pair[int64, int64]
+
+// Batch is the transactional view a Backend hands the executor inside
+// Atomic; both skiphash.Txn and skiphash.ShardedTxn satisfy it.
+type Batch interface {
+	Lookup(k int64) (int64, bool)
+	Insert(k, v int64) bool
+	Remove(k int64) bool
+	Put(k, v int64) bool
+}
+
+// Backend is the embedded map the server executes against. The two
+// implementations wrap skiphash.Map and skiphash.Sharded.
+type Backend interface {
+	// Atomic runs fn as one transaction; everything fn does through op
+	// commits or rolls back together. Like the map's own Atomic, fn may
+	// re-execute on conflict.
+	Atomic(fn func(op Batch) error) error
+	// Range collects [l, r] in key order, appending to out.
+	Range(l, r int64, out []Pair) []Pair
+	// ShardOf reports which coalescing domain k belongs to; always 0
+	// when Spanning.
+	ShardOf(k int64) int
+	// Spanning reports whether one Atomic may touch every key (shared
+	// runtime); false splits coalesced runs at shard boundaries.
+	Spanning() bool
+	// Sync, Snapshot expose the durability surface (skiphash.ErrNotDurable
+	// without one).
+	Sync() error
+	Snapshot() error
+	// Quiesce flushes removal buffers; Shutdown calls it after draining.
+	Quiesce()
+}
+
+// Config tunes the server. The zero value serves with the defaults.
+type Config struct {
+	// MaxConns bounds concurrently served connections; further accepts
+	// receive a StatusBusy frame and are closed. Default 256.
+	MaxConns int
+	// MaxBatch bounds how many pipelined requests one Atomic
+	// transaction may coalesce. Default 64.
+	MaxBatch int
+	// QueueDepth is the per-connection request queue; a full queue
+	// exerts backpressure on the reader (the client's writes stall).
+	// Default 1024.
+	QueueDepth int
+	// WriteTimeout is the slow-client deadline: a drain cycle's
+	// response writes must complete within it or the connection is torn
+	// down. Default 10s; negative disables.
+	WriteTimeout time.Duration
+	// IdleTimeout closes connections with no request activity for this
+	// long. 0 disables.
+	IdleTimeout time.Duration
+	// Logf, when set, receives per-connection diagnostics (protocol
+	// violations, write failures). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server serves one Backend over any number of listeners.
+type Server struct {
+	be  Backend
+	cfg Config
+
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[*conn]struct{}
+	draining atomic.Bool
+	connWG   sync.WaitGroup
+}
+
+// New creates a server around be.
+func New(be Backend, cfg Config) *Server {
+	return &Server{
+		be:    be,
+		cfg:   cfg.withDefaults(),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// errServerClosed distinguishes a drain-initiated accept failure.
+var errServerClosed = errors.New("server: shut down")
+
+// Serve accepts connections on ln until the listener fails or the
+// server shuts down (then it returns nil). Multiple Serve calls on
+// different listeners may run concurrently (TCP + unix socket).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn admits or rejects one accepted connection.
+func (s *Server) startConn(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Responses are flushed once per drain cycle — already batched —
+		// so Nagle only adds delayed-ACK stalls to the request/response
+		// rhythm.
+		tc.SetNoDelay(true)
+	}
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.refuse(nc, wire.StatusShuttingDown, "server is shutting down")
+		return
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.refuse(nc, wire.StatusBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+		return
+	}
+	c := &conn{
+		srv:   s,
+		nc:    nc,
+		bw:    bufio.NewWriterSize(nc, 64<<10),
+		reqs:  make(chan wire.Request, s.cfg.QueueDepth),
+		resps: make([]wire.Response, s.cfg.MaxBatch),
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(2)
+	s.mu.Unlock()
+	go c.readLoop()
+	go c.serveLoop()
+}
+
+// refuse writes one terminal status frame (best effort, under a short
+// deadline) and closes the connection.
+func (s *Server) refuse(nc net.Conn, status wire.Status, msg string) {
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	frame := wire.AppendResponse(nil, &wire.Response{Op: wire.OpPing, Status: status, Msg: msg})
+	nc.Write(frame)
+	nc.Close()
+}
+
+// NumConns reports the connections currently being served.
+func (s *Server) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown drains the server: listeners stop accepting, every
+// connection's reader stops taking new frames, queued requests finish
+// executing and their responses are flushed, and the backend's removal
+// buffers are quiesced. Connections still open when ctx expires are
+// force-closed (their unflushed responses are lost, as a crash would
+// lose them); the context's error is returned in that case. Shutdown
+// is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.startDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.be.Quiesce()
+	return err
+}
+
+// conn is one served connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	bw  *bufio.Writer
+
+	// reqs carries decoded requests from the reader to the executor;
+	// the reader closes it when the connection's read side is done.
+	reqs chan wire.Request
+
+	// Executor scratch, reused across drain cycles.
+	resps []wire.Response
+	enc   []byte
+	pairs []Pair
+	kvs   []wire.KV
+	batch []wire.Request
+
+	drained atomic.Bool
+}
+
+func (c *conn) logf(format string, args ...any) {
+	if c.srv.cfg.Logf != nil {
+		c.srv.cfg.Logf(format, args...)
+	}
+}
+
+// startDrain stops the reader by failing its next blocking read; frames
+// already buffered or queued still execute.
+func (c *conn) startDrain() {
+	c.drained.Store(true)
+	c.nc.SetReadDeadline(time.Unix(1, 0))
+}
+
+// readLoop decodes frames into the request queue. Any read or decode
+// failure ends the stream: after a framing violation there is no next
+// frame boundary, so the connection winds down (the executor still
+// completes everything already queued).
+func (c *conn) readLoop() {
+	defer c.srv.connWG.Done()
+	defer close(c.reqs)
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	fr := wire.NewFrameReader(br, wire.MaxRequestPayload)
+	for {
+		if t := c.srv.cfg.IdleTimeout; t > 0 && !c.drained.Load() {
+			c.nc.SetReadDeadline(time.Now().Add(t))
+			// startDrain may have set its expired deadline between the
+			// check and the set above; re-checking after the set means
+			// one side always observes the other, so the drain deadline
+			// cannot be lost under an idle re-arm.
+			if c.drained.Load() {
+				c.nc.SetReadDeadline(time.Unix(1, 0))
+			}
+		}
+		payload, err := fr.Next()
+		if err != nil {
+			if err != io.EOF && !c.drained.Load() {
+				c.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		req, err := wire.ParseRequest(payload)
+		if err != nil {
+			c.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+		c.reqs <- req
+	}
+}
+
+// serveLoop is the executor: it drains the queue in cycles, coalesces,
+// executes, and writes responses in request order, flushing once per
+// cycle.
+func (c *conn) serveLoop() {
+	defer c.srv.connWG.Done()
+	defer c.teardown()
+	for {
+		batch, open := c.dequeue()
+		if len(batch) > 0 {
+			// Arm the slow-client deadline for the whole cycle up front:
+			// a response larger than the bufio buffer spills to the
+			// socket during encoding, and that write must not run under
+			// a stale deadline from a previous cycle (spurious timeout)
+			// or no deadline at all (a slow reader could park the
+			// executor indefinitely).
+			if t := c.srv.cfg.WriteTimeout; t > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(t))
+			}
+			c.execute(batch)
+			if err := c.flush(); err != nil {
+				c.logf("server: %s: write: %v", c.nc.RemoteAddr(), err)
+				return
+			}
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// dequeue blocks for the first pending request, then drains whatever
+// else is already queued, up to MaxBatch. open reports whether the
+// queue can still produce more.
+func (c *conn) dequeue() (batch []wire.Request, open bool) {
+	c.batch = c.batch[:0]
+	req, ok := <-c.reqs
+	if !ok {
+		return nil, false
+	}
+	c.batch = append(c.batch, req)
+	for len(c.batch) < c.srv.cfg.MaxBatch {
+		select {
+		case req, ok := <-c.reqs:
+			if !ok {
+				return c.batch, false
+			}
+			c.batch = append(c.batch, req)
+		default:
+			return c.batch, true
+		}
+	}
+	return c.batch, true
+}
+
+// teardown closes the connection and unblocks the reader if it is
+// parked on a full queue, discarding what it had left.
+func (c *conn) teardown() {
+	c.nc.Close()
+	for range c.reqs {
+	}
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// execute runs one drain cycle's requests in order, coalescing maximal
+// runs of transactional ops into single Atomic transactions and
+// encoding every response into the write buffer.
+func (c *conn) execute(batch []wire.Request) {
+	spanning := c.srv.be.Spanning()
+	i := 0
+	for i < len(batch) {
+		req := &batch[i]
+		if !transactional(req.Op) {
+			c.execStandalone(req)
+			i++
+			continue
+		}
+		j := i + 1
+		if spanning {
+			for j < len(batch) && transactional(batch[j].Op) {
+				j++
+			}
+		} else {
+			shard, solo := c.shardOfReq(req)
+			if !solo {
+				for j < len(batch) && transactional(batch[j].Op) {
+					s2, solo2 := c.shardOfReq(&batch[j])
+					if solo2 || s2 != shard {
+						break
+					}
+					j++
+				}
+			}
+		}
+		c.execAtomic(batch[i:j])
+		i = j
+	}
+}
+
+// transactional reports whether op joins coalesced Atomic transactions.
+func transactional(op wire.Op) bool {
+	switch op {
+	case wire.OpGet, wire.OpInsert, wire.OpPut, wire.OpDel, wire.OpBatch:
+		return true
+	}
+	return false
+}
+
+// shardOfReq maps a request to its coalescing shard on non-spanning
+// backends. solo marks a client batch whose own keys span shards: it
+// must execute alone (and will fail with the map's ErrCrossShard).
+func (c *conn) shardOfReq(req *wire.Request) (shard int, solo bool) {
+	be := c.srv.be
+	if req.Op != wire.OpBatch {
+		return be.ShardOf(req.Key), false
+	}
+	if len(req.Steps) == 0 {
+		return 0, false // empty batch: executes anywhere, touches nothing
+	}
+	shard = be.ShardOf(req.Steps[0].Key)
+	for _, s := range req.Steps[1:] {
+		if be.ShardOf(s.Key) != shard {
+			return 0, true
+		}
+	}
+	return shard, false
+}
+
+// execAtomic executes a coalesced run as one transaction and encodes
+// the responses. Results are buffered per attempt and only encoded
+// after the commit, so an aborted attempt leaks nothing.
+func (c *conn) execAtomic(group []wire.Request) {
+	resps := c.resps[:len(group)]
+	err := c.srv.be.Atomic(func(op Batch) error {
+		for idx := range group {
+			req := &group[idx]
+			resp := &resps[idx]
+			resp.ID, resp.Op, resp.Status, resp.Msg = req.ID, req.Op, wire.StatusOK, ""
+			switch req.Op {
+			case wire.OpGet:
+				resp.Val, resp.Ok = op.Lookup(req.Key)
+			case wire.OpInsert:
+				resp.Ok = op.Insert(req.Key, req.Val)
+			case wire.OpPut:
+				resp.Ok = op.Put(req.Key, req.Val)
+			case wire.OpDel:
+				resp.Ok = op.Remove(req.Key)
+			case wire.OpBatch:
+				resp.Steps = resp.Steps[:0]
+				for _, s := range req.Steps {
+					var sr wire.StepResult
+					switch s.Kind {
+					case wire.StepInsert:
+						sr.Ok = op.Insert(s.Key, s.Val)
+					case wire.StepRemove:
+						sr.Ok = op.Remove(s.Key)
+					case wire.StepLookup:
+						sr.Out, sr.Ok = op.Lookup(s.Key)
+					}
+					resp.Steps = append(resp.Steps, sr)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		status, msg := statusFor(err)
+		for idx := range group {
+			req := &group[idx]
+			c.encodeResponse(&wire.Response{ID: req.ID, Op: req.Op, Status: status, Msg: msg})
+		}
+		return
+	}
+	for idx := range resps {
+		c.encodeResponse(&resps[idx])
+	}
+}
+
+// execStandalone executes a non-coalescable request (Range, Sync,
+// Snapshot, Ping) and encodes its response.
+func (c *conn) execStandalone(req *wire.Request) {
+	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+	switch req.Op {
+	case wire.OpRange:
+		c.pairs = c.srv.be.Range(req.Key, req.Val, c.pairs[:0])
+		pairs := c.pairs
+		if req.Max > 0 && len(pairs) > int(req.Max) {
+			pairs = pairs[:req.Max]
+		}
+		if len(pairs) > wire.MaxRangePairs {
+			// The response must fit one frame; clients paginate past
+			// this (documented on wire.MaxRangePairs).
+			pairs = pairs[:wire.MaxRangePairs]
+		}
+		c.kvs = c.kvs[:0]
+		for _, p := range pairs {
+			c.kvs = append(c.kvs, wire.KV{Key: p.Key, Val: p.Val})
+		}
+		resp.Pairs = c.kvs
+	case wire.OpSync:
+		if err := c.srv.be.Sync(); err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpSnapshot:
+		if err := c.srv.be.Snapshot(); err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpPing:
+		// empty response
+	}
+	c.encodeResponse(&resp)
+}
+
+// encodeResponse appends one response frame to the buffered writer.
+func (c *conn) encodeResponse(resp *wire.Response) {
+	c.enc = c.enc[:0]
+	c.enc = wire.AppendResponse(c.enc, resp)
+	c.bw.Write(c.enc) // bufio keeps the first error; flush reports it
+}
+
+// flush pushes the cycle's responses to the client under the
+// slow-client deadline.
+func (c *conn) flush() error {
+	if t := c.srv.cfg.WriteTimeout; t > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	return c.bw.Flush()
+}
+
+// statusFor maps backend errors to wire statuses.
+func statusFor(err error) (wire.Status, string) {
+	switch {
+	case errors.Is(err, skiphash.ErrCrossShard):
+		return wire.StatusCrossShard, err.Error()
+	case errors.Is(err, skiphash.ErrNotDurable):
+		return wire.StatusNotDurable, err.Error()
+	case errors.Is(err, skiphash.ErrCorrupt):
+		return wire.StatusCorrupt, err.Error()
+	default:
+		return wire.StatusErr, err.Error()
+	}
+}
+
+// --- Backends -----------------------------------------------------------
+
+// MapBackend serves an unsharded skip hash.
+type MapBackend struct{ m *skiphash.Map[int64, int64] }
+
+// NewMapBackend wraps m.
+func NewMapBackend(m *skiphash.Map[int64, int64]) *MapBackend { return &MapBackend{m: m} }
+
+// Atomic implements Backend.
+func (b *MapBackend) Atomic(fn func(op Batch) error) error {
+	return b.m.Atomic(func(op *skiphash.Txn[int64, int64]) error { return fn(op) })
+}
+
+// Range implements Backend.
+func (b *MapBackend) Range(l, r int64, out []Pair) []Pair { return b.m.Range(l, r, out) }
+
+// ShardOf implements Backend.
+func (b *MapBackend) ShardOf(int64) int { return 0 }
+
+// Spanning implements Backend.
+func (b *MapBackend) Spanning() bool { return true }
+
+// Sync implements Backend.
+func (b *MapBackend) Sync() error { return b.m.Sync() }
+
+// Snapshot implements Backend.
+func (b *MapBackend) Snapshot() error { return b.m.Snapshot() }
+
+// Quiesce implements Backend.
+func (b *MapBackend) Quiesce() { b.m.Quiesce() }
+
+// ShardedBackend serves a sharded skip hash.
+type ShardedBackend struct {
+	s *skiphash.Sharded[int64, int64]
+}
+
+// NewShardedBackend wraps s.
+func NewShardedBackend(s *skiphash.Sharded[int64, int64]) *ShardedBackend {
+	return &ShardedBackend{s: s}
+}
+
+// Atomic implements Backend.
+func (b *ShardedBackend) Atomic(fn func(op Batch) error) error {
+	return b.s.Atomic(func(op *skiphash.ShardedTxn[int64, int64]) error { return fn(op) })
+}
+
+// Range implements Backend.
+func (b *ShardedBackend) Range(l, r int64, out []Pair) []Pair { return b.s.Range(l, r, out) }
+
+// ShardOf implements Backend.
+func (b *ShardedBackend) ShardOf(k int64) int { return b.s.ShardOf(k) }
+
+// Spanning implements Backend.
+func (b *ShardedBackend) Spanning() bool { return !b.s.Isolated() }
+
+// Sync implements Backend.
+func (b *ShardedBackend) Sync() error { return b.s.Sync() }
+
+// Snapshot implements Backend.
+func (b *ShardedBackend) Snapshot() error { return b.s.Snapshot() }
+
+// Quiesce implements Backend.
+func (b *ShardedBackend) Quiesce() { b.s.Quiesce() }

@@ -310,6 +310,12 @@ func (s *Sharded[K, V]) shardOf(k K) int {
 // NumShards returns the partition count.
 func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
 
+// ShardOf reports the index of the shard k is routed to. Callers
+// batching operations ahead of Atomic (the network server's
+// request coalescer) use it to keep a batch within one shard on
+// isolated-shard maps.
+func (s *Sharded[K, V]) ShardOf(k K) int { return s.shardOf(k) }
+
 // Isolated reports whether shards run on private STM runtimes.
 func (s *Sharded[K, V]) Isolated() bool { return s.isolated }
 

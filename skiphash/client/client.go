@@ -1,0 +1,460 @@
+// Package client is the Go client for the skip hash network protocol
+// served by cmd/skiphashd (internal/server, internal/wire).
+//
+// A Client owns a pool of connections; its synchronous methods
+// (Get/Insert/Put/Remove/Range/Atomic/Sync/Snapshot) round-robin over
+// the pool and behave like the embedded map's, with an error result
+// added for the transport. For throughput, pipeline: obtain a Conn and
+// issue Start calls — each returns a Call immediately — then Flush and
+// Wait. The server coalesces a pipelined burst into single atomic
+// transactions and answers with one write, so a window of W in-flight
+// requests costs ~1/W of the per-op round trips of the closed loop.
+//
+// Errors mirror the embedded map's typed errors: a batch spanning
+// isolated shards fails with skiphash.ErrCrossShard, Sync/Snapshot on
+// a non-durable server with skiphash.ErrNotDurable, durability-layer
+// corruption with an error matching skiphash.ErrCorrupt; all are
+// errors.Is-compatible. Transport failures fail every in-flight call
+// with ErrConnClosed (wrapping the cause), after which the connection
+// is unusable.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/skiphash"
+)
+
+// KV is a key/value pair returned by Range.
+type KV = wire.KV
+
+// Step re-exports the wire batch step for Atomic.
+type Step = wire.Step
+
+// StepResult re-exports the wire batch step result.
+type StepResult = wire.StepResult
+
+// Batch step kinds.
+const (
+	StepInsert = wire.StepInsert
+	StepRemove = wire.StepRemove
+	StepLookup = wire.StepLookup
+)
+
+// Typed errors. ErrCrossShard, ErrNotDurable and ErrCorrupt are the
+// map's own sentinels, so errors.Is behaves identically against a
+// local map and a served one.
+var (
+	ErrCrossShard = skiphash.ErrCrossShard
+	ErrNotDurable = skiphash.ErrNotDurable
+	ErrCorrupt    = skiphash.ErrCorrupt
+	// ErrServerBusy reports the server refused the connection at its
+	// connection limit.
+	ErrServerBusy = errors.New("client: server at connection limit")
+	// ErrShuttingDown reports the server is draining.
+	ErrShuttingDown = errors.New("client: server shutting down")
+	// ErrConnClosed fails calls whose connection died before their
+	// response arrived.
+	ErrConnClosed = errors.New("client: connection closed")
+)
+
+// Options tunes Dial.
+type Options struct {
+	// Conns is the pool size. Default 1.
+	Conns int
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each flush. Default 10s; negative disables.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns == 0 {
+		o.Conns = 1
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Client is a pool of protocol connections. All methods are safe for
+// concurrent use.
+type Client struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// Dial connects a pool to addr. The network is inferred: an address
+// containing a path separator (or prefixed "unix:") is a unix socket,
+// anything else TCP; Dial2 pins it explicitly.
+func Dial(addr string, opts Options) (*Client, error) {
+	network := "tcp"
+	if strings.HasPrefix(addr, "unix:") {
+		network, addr = "unix", strings.TrimPrefix(addr, "unix:")
+	} else if strings.ContainsAny(addr, "/\\") {
+		network = "unix"
+	}
+	return Dial2(network, addr, opts)
+}
+
+// Dial2 connects a pool over an explicit network ("tcp", "unix").
+func Dial2(network, addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{conns: make([]*Conn, 0, opts.Conns)}
+	for i := 0; i < opts.Conns; i++ {
+		cn, err := dialConn(network, addr, opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cn)
+	}
+	return c, nil
+}
+
+// NumConns reports the pool size.
+func (c *Client) NumConns() int { return len(c.conns) }
+
+// Conn returns pool member i, for callers managing pipelining
+// explicitly (one goroutine per connection).
+func (c *Client) Conn(i int) *Conn { return c.conns[i] }
+
+// pick round-robins the pool.
+func (c *Client) pick() *Conn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// Close closes every connection; in-flight calls fail with
+// ErrConnClosed.
+func (c *Client) Close() error {
+	var first error
+	for _, cn := range c.conns {
+		if cn == nil {
+			continue
+		}
+		if err := cn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Get returns the value stored under k.
+func (c *Client) Get(k int64) (v int64, ok bool, err error) { return c.pick().Get(k) }
+
+// Insert adds (k, v) if k is absent and reports whether it did.
+func (c *Client) Insert(k, v int64) (bool, error) { return c.pick().Insert(k, v) }
+
+// Put sets k to v unconditionally, reporting whether a previous value
+// was replaced.
+func (c *Client) Put(k, v int64) (bool, error) { return c.pick().Put(k, v) }
+
+// Remove deletes k and reports whether it was present.
+func (c *Client) Remove(k int64) (bool, error) { return c.pick().Remove(k) }
+
+// Range returns every pair with l <= key <= r in key order; max > 0
+// truncates the result server-side. Results are additionally capped at
+// wire.MaxRangePairs per response (so one range fits one frame);
+// callers wanting more paginate, resuming from their last key + 1.
+func (c *Client) Range(l, r int64, max int) ([]KV, error) { return c.pick().Range(l, r, max) }
+
+// Atomic applies steps as one transaction on the server, filling each
+// step's results. All steps take effect at a single commit point, or
+// none do (ErrCrossShard on isolated-shard servers when keys span
+// shards).
+func (c *Client) Atomic(steps []Step) ([]StepResult, error) { return c.pick().Atomic(steps) }
+
+// Sync forces the server's WAL to durable storage.
+func (c *Client) Sync() error { return c.pick().Sync() }
+
+// Snapshot makes the server write a durable snapshot now.
+func (c *Client) Snapshot() error { return c.pick().Snapshot() }
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error { return c.pick().Ping() }
+
+// Conn is one protocol connection. It is safe for concurrent use;
+// pipelining callers typically dedicate it to one goroutine.
+type Conn struct {
+	nc net.Conn
+
+	mu      sync.Mutex // guards writer, id, pending registration, closing
+	bw      *bufio.Writer
+	enc     []byte // request-encode scratch, reused under mu
+	id      uint64
+	pending map[uint64]*Call
+	err     error // sticky transport error
+	wt      time.Duration
+
+	readerDone chan struct{}
+}
+
+// Call is one in-flight request.
+type Call struct {
+	done chan struct{}
+	resp wire.Response
+	err  error
+}
+
+// Wait blocks for the response and decodes its status into the typed
+// errors.
+func (call *Call) Wait() (wire.Response, error) {
+	<-call.done
+	if call.err != nil {
+		return call.resp, call.err
+	}
+	return call.resp, statusError(&call.resp)
+}
+
+func dialConn(network, addr string, opts Options) (*Conn, error) {
+	nc, err := net.DialTimeout(network, addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelining batches writes itself; Nagle only adds latency
+	}
+	cn := &Conn{
+		nc:         nc,
+		bw:         bufio.NewWriterSize(nc, 64<<10),
+		pending:    make(map[uint64]*Call),
+		wt:         opts.WriteTimeout,
+		readerDone: make(chan struct{}),
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// readLoop demultiplexes responses to their pending calls.
+func (cn *Conn) readLoop() {
+	defer close(cn.readerDone)
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	fr := wire.NewFrameReader(br, wire.MaxResponsePayload)
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			cn.fail(fmt.Errorf("%w: %w", ErrConnClosed, err))
+			return
+		}
+		resp, err := wire.ParseResponse(payload)
+		if err != nil {
+			cn.fail(fmt.Errorf("%w: %w", ErrConnClosed, err))
+			return
+		}
+		if resp.ID == 0 {
+			// Unsolicited terminal frame: the server refusing the
+			// connection (busy / shutting down).
+			cn.fail(refusalError(&resp))
+			return
+		}
+		cn.mu.Lock()
+		call := cn.pending[resp.ID]
+		delete(cn.pending, resp.ID)
+		cn.mu.Unlock()
+		if call != nil {
+			call.resp = resp
+			close(call.done)
+		}
+	}
+}
+
+// fail marks the connection dead and fails every pending call,
+// returning the sticky error (the first failure wins).
+func (cn *Conn) fail(err error) error {
+	cn.mu.Lock()
+	if cn.err == nil {
+		cn.err = err
+	}
+	sticky := cn.err
+	calls := cn.pending
+	cn.pending = make(map[uint64]*Call)
+	cn.mu.Unlock()
+	cn.nc.Close()
+	for _, call := range calls {
+		call.err = sticky
+		close(call.done)
+	}
+	return sticky
+}
+
+// Start encodes req into the connection's write buffer and registers a
+// pending Call; the request reaches the wire on the next Flush (or
+// when the buffer fills). The req.ID field is assigned by the
+// connection.
+func (cn *Conn) Start(req *wire.Request) (*Call, error) {
+	call := &Call{done: make(chan struct{})}
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.id++
+	req.ID = cn.id
+	cn.pending[req.ID] = call
+	// Encoding under mu keeps pipelined frames contiguous and lets the
+	// scratch buffer be reused across requests; bufio copies the bytes
+	// out, so contention is memcpy-bounded and allocation-free.
+	cn.enc = wire.AppendRequest(cn.enc[:0], req)
+	buf := cn.enc
+	if cn.wt > 0 && cn.bw.Available() < len(buf) {
+		// This write will spill to the socket (bufio flushes the full
+		// buffer). Arm a fresh deadline: an absolute deadline left over
+		// from an earlier Flush may already lie in the past and would
+		// fail a perfectly healthy connection.
+		cn.nc.SetWriteDeadline(time.Now().Add(cn.wt))
+	}
+	_, werr := cn.bw.Write(buf)
+	cn.mu.Unlock()
+	if werr != nil {
+		return nil, cn.fail(fmt.Errorf("%w: %w", ErrConnClosed, werr))
+	}
+	return call, nil
+}
+
+// Flush pushes every buffered request to the wire.
+func (cn *Conn) Flush() error {
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return err
+	}
+	if cn.wt > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(cn.wt))
+	}
+	err := cn.bw.Flush()
+	cn.mu.Unlock()
+	if err != nil {
+		return cn.fail(fmt.Errorf("%w: %w", ErrConnClosed, err))
+	}
+	return nil
+}
+
+// Do issues req synchronously: Start, Flush, Wait.
+func (cn *Conn) Do(req *wire.Request) (wire.Response, error) {
+	call, err := cn.Start(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if err := cn.Flush(); err != nil {
+		return wire.Response{}, err
+	}
+	return call.Wait()
+}
+
+// Close tears the connection down; in-flight calls fail with
+// ErrConnClosed.
+func (cn *Conn) Close() error {
+	cn.fail(ErrConnClosed)
+	<-cn.readerDone
+	return nil
+}
+
+// Get returns the value stored under k.
+func (cn *Conn) Get(k int64) (v int64, ok bool, err error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpGet, Key: k})
+	return resp.Val, resp.Ok, err
+}
+
+// Insert adds (k, v) if absent; see Client.Insert.
+func (cn *Conn) Insert(k, v int64) (bool, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpInsert, Key: k, Val: v})
+	return resp.Ok, err
+}
+
+// Put sets k to v unconditionally; see Client.Put.
+func (cn *Conn) Put(k, v int64) (bool, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpPut, Key: k, Val: v})
+	return resp.Ok, err
+}
+
+// Remove deletes k; see Client.Remove.
+func (cn *Conn) Remove(k int64) (bool, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpDel, Key: k})
+	return resp.Ok, err
+}
+
+// Range collects [l, r]; see Client.Range.
+func (cn *Conn) Range(l, r int64, max int) ([]KV, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpRange, Key: l, Val: r, Max: uint32(max)})
+	return resp.Pairs, err
+}
+
+// Atomic applies steps transactionally; see Client.Atomic.
+func (cn *Conn) Atomic(steps []Step) ([]StepResult, error) {
+	if len(steps) > wire.MaxBatchSteps {
+		// Reject before writing: the server would refuse the frame and
+		// the whole connection (with every pipelined call on it) would
+		// die for one oversized request.
+		return nil, fmt.Errorf("client: batch of %d steps exceeds wire.MaxBatchSteps (%d)",
+			len(steps), wire.MaxBatchSteps)
+	}
+	resp, err := cn.Do(&wire.Request{Op: wire.OpBatch, Steps: steps})
+	return resp.Steps, err
+}
+
+// Sync forces the server's WAL to durable storage.
+func (cn *Conn) Sync() error {
+	_, err := cn.Do(&wire.Request{Op: wire.OpSync})
+	return err
+}
+
+// Snapshot makes the server write a durable snapshot now.
+func (cn *Conn) Snapshot() error {
+	_, err := cn.Do(&wire.Request{Op: wire.OpSnapshot})
+	return err
+}
+
+// Ping round-trips an empty request.
+func (cn *Conn) Ping() error {
+	_, err := cn.Do(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// statusError maps a response status onto the typed errors.
+func statusError(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusCrossShard:
+		return ErrCrossShard
+	case wire.StatusNotDurable:
+		return ErrNotDurable
+	case wire.StatusCorrupt:
+		return fmt.Errorf("client: server reported %q: %w", resp.Msg, ErrCorrupt)
+	case wire.StatusBusy:
+		return ErrServerBusy
+	case wire.StatusShuttingDown:
+		return ErrShuttingDown
+	default:
+		return fmt.Errorf("client: server error: %s", resp.Msg)
+	}
+}
+
+// refusalError interprets an id-0 terminal frame.
+func refusalError(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusBusy:
+		return ErrServerBusy
+	case wire.StatusShuttingDown:
+		return ErrShuttingDown
+	default:
+		return fmt.Errorf("%w: unsolicited %s frame", ErrConnClosed, resp.Status)
+	}
+}
+
+var _ io.Closer = (*Conn)(nil)

@@ -105,6 +105,17 @@
 // (FsyncAlways callers: Err after critical writes) rather than rely on
 // per-operation acknowledgments.
 //
+// # Serving
+//
+// The map embeds; cmd/skiphashd serves. The daemon exposes a sharded
+// (optionally durable) map over TCP or a unix socket speaking a
+// CRC-framed binary protocol (internal/wire), with pipelined requests
+// coalesced into atomic transactions at the server (internal/server);
+// the skiphash/client package is the matching client, whose typed
+// errors are these same sentinels — errors.Is(err, ErrCrossShard)
+// holds whether the Atomic that crossed isolated shards ran in-process
+// or on the far side of a socket.
+//
 // # Handle lifecycle and maintenance
 //
 // Removals defer their physical unstitching through per-handle buffers
