@@ -11,6 +11,7 @@
 //	skipbench churn            # handle-churn windows: range throughput over time
 //	skipbench persist          # durability overhead: WAL off vs fsync policies
 //	skipbench net              # serving layer: closed-loop vs pipelined clients
+//	skipbench read             # read fast path: optimistic Get vs transactional Get
 //	skipbench all              # everything
 //
 // Flags:
@@ -115,6 +116,8 @@ func main() {
 		err = bench.Persist(os.Stdout, *dir, opts)
 	case "net":
 		err = bench.Net(os.Stdout, opts)
+	case "read":
+		err = bench.ReadBench(os.Stdout, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -144,6 +147,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Net(os.Stdout, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.ReadBench(os.Stdout, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -193,7 +200,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|read|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

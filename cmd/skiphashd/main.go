@@ -12,13 +12,18 @@
 // in-flight pipelined requests (bounded by -drain-timeout), quiesces
 // the map's removal buffers, syncs the WAL, and closes the map.
 //
+// Observability: -stats-every logs per-interval STM counter deltas
+// (commits, aborts, optimistic read hits and fallbacks); -pprof serves
+// net/http/pprof on a loopback address for live CPU/heap profiling of
+// the drain loop.
+//
 // Usage:
 //
 //	skiphashd [-addr host:port] [-unix path]
 //	          [-shards n] [-isolated] [-maintenance]
 //	          [-dir path] [-fsync none|interval|always] [-fsync-every d]
 //	          [-max-conns n] [-max-batch n] [-write-timeout d] [-idle-timeout d]
-//	          [-drain-timeout d] [-quiet]
+//	          [-drain-timeout d] [-stats-every d] [-pprof host:port] [-quiet]
 package main
 
 import (
@@ -27,8 +32,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -52,6 +60,8 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client response deadline")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+		statsEvery   = flag.Duration("stats-every", time.Minute, "STM stats log period (0 disables)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (empty disables)")
 		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	)
 	flag.Parse()
@@ -94,6 +104,30 @@ func main() {
 	}
 	srv := server.New(server.NewShardedBackend(m), srvCfg)
 
+	if *pprofAddr != "" {
+		if !loopbackAddr(*pprofAddr) {
+			log.Fatalf("skiphashd: -pprof %q is not a loopback address", *pprofAddr)
+		}
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("skiphashd: pprof listen %s: %v", *pprofAddr, err)
+		}
+		log.Printf("skiphashd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("skiphashd: pprof server: %v", err)
+			}
+		}()
+	}
+
+	statsDone := make(chan struct{})
+	if *statsEvery > 0 {
+		go logStats(m, *statsEvery, statsDone)
+	} else {
+		close(statsDone)
+	}
+
 	var wg sync.WaitGroup
 	serveErrs := make(chan error, 2)
 	listen := func(network, laddr string) {
@@ -128,6 +162,9 @@ func main() {
 		log.Printf("skiphashd: %v: draining", err)
 	}
 
+	if *statsEvery > 0 {
+		close(statsDone)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -162,4 +199,39 @@ func durabilityDesc(dir, fsync string) string {
 		return "off"
 	}
 	return fmt.Sprintf("%s, fsync=%s", dir, fsync)
+}
+
+// loopbackAddr reports whether addr binds a loopback interface; the
+// pprof endpoint exposes heap contents and must not face the network.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(strings.Trim(host, "[]"))
+	return ip != nil && ip.IsLoopback()
+}
+
+// logStats periodically logs STM counter deltas — commit/abort volume
+// and the optimistic read fast path's hit/fallback split — until done
+// is closed.
+func logStats(m *skiphash.Sharded[int64, int64], every time.Duration, done <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	prev := m.STMStats()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		cur := m.STMStats()
+		d := cur.Sub(prev)
+		prev = cur
+		log.Printf("skiphashd: stats (%v): commits=%d aborts=%d ro-commits=%d fast-read-hits=%d fast-read-fallbacks=%d",
+			every, d.Commits, d.Aborts, d.ReadOnlyCommits, d.FastReadHits, d.FastReadFallbacks)
+	}
 }

@@ -41,7 +41,12 @@
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
-//	           [-net]
+//	           [-net] [-readheavy]
+//
+// -readheavy skews the -check/-net workload to 80% point lookups, the
+// mix that keeps the optimistic read fast path hot while concurrent
+// writers force fallbacks — the adversity the fast path's
+// linearizability is checked under.
 package main
 
 import (
@@ -91,20 +96,21 @@ const maxFailurePrints = 20
 
 func main() {
 	var (
-		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
-		duration = flag.Duration("duration", 5*time.Second, "stress duration")
-		universe = flag.Int64("universe", 1<<16, "key universe")
-		mode     = flag.String("mode", "two-path", "range path: two-path, fast, or slow")
-		rangeLen = flag.Int64("rangelen", 128, "range query length")
-		shards   = flag.Int("shards", 0, "shard count (0 = unsharded; -1 = GOMAXPROCS-derived)")
-		isolated = flag.Bool("isolated", false, "per-shard STM runtimes (with -shards)")
-		seed     = flag.Uint64("seed", 1, "seed for all workload randomness")
-		check    = flag.Bool("check", false, "record histories and verify linearizability online")
-		churn    = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
-		crash    = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
-		netCheck = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
-		cycles   = flag.Int("cycles", 60, "kill/recover cycles for -crash")
-		dir      = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "stress duration")
+		universe  = flag.Int64("universe", 1<<16, "key universe")
+		mode      = flag.String("mode", "two-path", "range path: two-path, fast, or slow")
+		rangeLen  = flag.Int64("rangelen", 128, "range query length")
+		shards    = flag.Int("shards", 0, "shard count (0 = unsharded; -1 = GOMAXPROCS-derived)")
+		isolated  = flag.Bool("isolated", false, "per-shard STM runtimes (with -shards)")
+		seed      = flag.Uint64("seed", 1, "seed for all workload randomness")
+		check     = flag.Bool("check", false, "record histories and verify linearizability online")
+		churn     = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
+		crash     = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
+		netCheck  = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
+		cycles    = flag.Int("cycles", 60, "kill/recover cycles for -crash")
+		dir       = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
+		readHeavy = flag.Bool("readheavy", false, "80% point-lookup mix for -check/-net (drives the read fast path)")
 	)
 	flag.Parse()
 
@@ -122,11 +128,16 @@ func main() {
 		runCrash(*cycles, *threads, *universe, *seed, *dir)
 		return
 	}
+	lookupPct := 0
+	if *readHeavy {
+		lookupPct = 80
+	}
 	if *netCheck {
-		reproducer := fmt.Sprintf("go run ./cmd/skipstress -net -seed %d -threads %d -duration %v -shards %d%s",
+		reproducer := fmt.Sprintf("go run ./cmd/skipstress -net -seed %d -threads %d -duration %v -shards %d%s%s",
 			*seed, *threads, *duration, *shards,
-			map[bool]string{true: " -isolated"}[*isolated])
-		runNet(*threads, *duration, *seed, *shards, *isolated, reproducer)
+			map[bool]string{true: " -isolated"}[*isolated],
+			map[bool]string{true: " -readheavy"}[*readHeavy])
+		runNet(*threads, *duration, *seed, *shards, *isolated, lookupPct, reproducer)
 		return
 	}
 	cfg := skiphash.Config{}
@@ -167,14 +178,15 @@ func main() {
 		checkable = checkAdapter{um}
 	}
 
-	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s%s",
+	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s%s%s",
 		*seed, *threads, *duration, *universe, *mode, *rangeLen, *shards,
 		map[bool]string{true: " -isolated"}[*isolated],
 		map[bool]string{true: " -check"}[*check],
-		map[bool]string{true: " -churn"}[*churn])
+		map[bool]string{true: " -churn"}[*churn],
+		map[bool]string{true: " -readheavy"}[*readHeavy])
 
 	if *check {
-		runCheck(checkable, m, *threads, *duration, *seed, *isolated, variant, reproducer)
+		runCheck(checkable, m, *threads, *duration, *seed, *isolated, lookupPct, variant, reproducer)
 		return
 	}
 	if *churn {
@@ -408,10 +420,10 @@ func runChurn(m stressMap, newHandle func() stressHandle, threads, handleWeight 
 // history online. The map stays hot across rounds: each round's check
 // starts from a quiescent snapshot of the previous round's final state.
 func runCheck(cm maptest.OrderedMap, m stressMap, threads int, duration time.Duration,
-	seed uint64, isolated bool, variant, reproducer string) {
+	seed uint64, isolated bool, lookupPct int, variant, reproducer string) {
 	const checkUniverse = 64
-	fmt.Printf("skipstress: -check, %d threads, %v, universe %d, seed %d, %s\n",
-		threads, duration, checkUniverse, seed, variant)
+	fmt.Printf("skipstress: -check, %d threads, %v, universe %d, seed %d, lookup%%=%d, %s\n",
+		threads, duration, checkUniverse, seed, lookupPct, variant)
 
 	deadline := time.Now().Add(duration)
 	rounds, totalOps, unknowns := 0, 0, 0
@@ -426,6 +438,7 @@ func runCheck(cm maptest.OrderedMap, m stressMap, threads int, duration time.Dur
 			Ranges:       !isolated,
 			PointQueries: !isolated,
 			Batches:      true,
+			LookupPct:    lookupPct,
 		}
 		h := maptest.RecordHistory(cm, opts)
 		res := linearize.CheckOpts(h, linearize.Options{Initial: snapshot})

@@ -25,7 +25,7 @@ import (
 // the checked box. After the rounds, the served map itself must pass a
 // quiescent invariant audit.
 func runNet(threads int, duration time.Duration, seed uint64,
-	shards int, isolated bool, reproducer string) {
+	shards int, isolated bool, lookupPct int, reproducer string) {
 	const checkUniverse = 64
 	cfg := skiphash.Config{Maintenance: true, IsolatedShards: isolated}
 	if shards > 0 {
@@ -50,8 +50,8 @@ func runNet(threads int, duration time.Duration, seed uint64,
 	if isolated {
 		variant += " (isolated)"
 	}
-	fmt.Printf("skipstress: -net, %d client conns, %v, universe %d, seed %d, %s\n",
-		threads, duration, checkUniverse, seed, variant)
+	fmt.Printf("skipstress: -net, %d client conns, %v, universe %d, seed %d, lookup%%=%d, %s\n",
+		threads, duration, checkUniverse, seed, lookupPct, variant)
 
 	adapter := netAdapter{c: cl}
 	deadline := time.Now().Add(duration)
@@ -67,8 +67,9 @@ func runNet(threads int, duration time.Duration, seed uint64,
 			// Isolated shards merge per-shard range snapshots taken at
 			// distinct instants — deliberately not linearizable — so
 			// ranges are only checked on the shared-runtime map.
-			Ranges:  !isolated,
-			Batches: true,
+			Ranges:    !isolated,
+			Batches:   true,
+			LookupPct: lookupPct,
 		}
 		h := maptest.RecordHistory(adapter, opts)
 		res := linearize.CheckOpts(h, linearize.Options{Initial: snapshot})

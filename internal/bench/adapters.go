@@ -64,8 +64,10 @@ type SkipHash struct {
 }
 
 // NewSkipHash builds the skip hash series: mode is "two-path", "fast",
-// "slow" (the paper's three variants), or "adaptive" (this repo's
-// extension). buckets of 0 selects the paper's table size.
+// "slow" (the paper's three variants), "adaptive" (this repo's
+// extension), or "txread" (the read-fast-path ablation: every point
+// read runs the full STM transaction). buckets of 0 selects the paper's
+// table size.
 func NewSkipHash(mode string, buckets int) *SkipHash {
 	if buckets == 0 {
 		buckets = thashmap.DefaultBuckets
@@ -82,6 +84,9 @@ func NewSkipHash(mode string, buckets int) *SkipHash {
 	case "adaptive":
 		cfg.Adaptive = true
 		name = "skiphash-adaptive"
+	case "txread":
+		cfg.DisableReadFastPath = true
+		name = "skiphash-txread"
 	case "", "two-path":
 	default:
 		panic(fmt.Sprintf("bench: unknown skip hash mode %q", mode))

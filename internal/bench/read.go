@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReadWorkloads are the mixes the read-fast-path experiment sweeps: pure
+// lookups (the fast path's best case) and a 90/10 mix (writers keep the
+// bucket orecs moving, exercising the fallback).
+var ReadWorkloads = []Workload{
+	{Name: "100% lookup", LookupPct: 100},
+	{Name: "90% lookup, 10% update", LookupPct: 90, UpdatePct: 10},
+}
+
+// ReadMaps returns the read-experiment series: the two-path skip hash
+// with the optimistic read fast path (the default configuration), the
+// same map with the fast path disabled — the pre-fast-path transactional
+// Get, so the pair isolates exactly the tentpole's effect — and the
+// sharded frontend, which inherits the fast path through its per-shard
+// handles.
+func ReadMaps() []MapFactory {
+	return []MapFactory{
+		{Name: "skiphash-two-path", New: func() Map { return NewSkipHash("two-path", 0) }},
+		{Name: "skiphash-txread", New: func() Map { return NewSkipHash("txread", 0) }},
+		{Name: "skiphash-sharded", New: func() Map { return NewShardedSkipHash(0, 0, false) }},
+	}
+}
+
+// ReadBench sweeps thread counts for each of ReadWorkloads over
+// ReadMaps and prints a throughput table; with opts.Report set it
+// records "read" rows carrying the fast-read hit/fallback counters, the
+// series benchdiff gates via BENCH_read.json.
+func ReadBench(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	maps := ReadMaps()
+	fmt.Fprintf(w, "# Read fast path: universe %d, %v x %d trials\n",
+		opts.Universe, opts.Duration, opts.Trials)
+	for _, wl := range ReadWorkloads {
+		wl.Universe = opts.Universe
+		fmt.Fprintf(w, "\n## %s\n%-8s", wl.Name, "threads")
+		for _, mf := range maps {
+			fmt.Fprintf(w, " %24s", mf.Name)
+		}
+		fmt.Fprintf(w, " %10s\n", "hit-rate")
+		for _, threads := range opts.Threads {
+			fmt.Fprintf(w, "%-8d", threads)
+			var hitRate float64
+			for _, mf := range maps {
+				m := mf.New()
+				rc := RunConfig{Threads: threads, Duration: opts.Duration, Trials: opts.Trials, Seed: opts.Seed + 53}
+				Prefill(m, wl.Universe, rc.Seed+1)
+				stmBefore, rqBefore := subjectSnapshots(m)
+				res := RunTrials(m, wl, rc)
+				row := Row{Experiment: "read", Workload: wl.Name, Map: mf.Name, Threads: threads,
+					Universe: wl.Universe, Mops: res.Mops()}
+				fillSubjectStats(&row, m, stmBefore, rqBefore)
+				fmt.Fprintf(w, " %24.2f", res.Mops())
+				if total := row.FastReadHits + row.FastReadFallbacks; total > 0 {
+					hitRate = float64(row.FastReadHits) / float64(total)
+				}
+				if opts.CSV != nil {
+					fmt.Fprintf(opts.CSV, "read,%q,%s,%d,%.4f,%d,%d\n",
+						wl.Name, mf.Name, threads, res.Mops(), row.FastReadHits, row.FastReadFallbacks)
+				}
+				if opts.Report != nil {
+					opts.Report.Add(row)
+				}
+			}
+			// hitRate is the last fast-path-enabled series' rate in this
+			// row (the sharded subject); the JSON rows carry every series'
+			// exact counters.
+			fmt.Fprintf(w, " %10.4f\n", hitRate)
+		}
+	}
+	return nil
+}

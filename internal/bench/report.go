@@ -41,7 +41,7 @@ func CurrentEnv() Env {
 // by the -json flag of cmd/skipbench for the perf trajectory.
 type Row struct {
 	// Experiment identifies the driver: "fig5a".."fig5f", "fig6",
-	// "table1", "shards", "churn", "persist", or "net".
+	// "table1", "shards", "churn", "persist", "net", or "read".
 	Experiment string `json:"experiment"`
 	// Workload is the operation mix's human name, when applicable.
 	Workload string `json:"workload,omitempty"`
@@ -72,6 +72,11 @@ type Row struct {
 	FastCommits uint64 `json:"fast_commits,omitempty"`
 	SlowCommits uint64 `json:"slow_commits,omitempty"`
 	FastAborts  uint64 `json:"fast_aborts,omitempty"`
+	// FastReadHits/FastReadFallbacks are the optimistic point-read
+	// counters over the data point's window: reads answered without a
+	// transaction, and fast-path attempts that fell back to one.
+	FastReadHits      uint64 `json:"fast_read_hits,omitempty"`
+	FastReadFallbacks uint64 `json:"fast_read_fallbacks,omitempty"`
 	// Window is the measurement window index of a churn run (the series
 	// whose flatness demonstrates background reclamation working). The
 	// churn fields are pointers so that churn rows always carry them —
@@ -152,6 +157,8 @@ func fillSubjectStats(row *Row, m Map, stmBefore stm.Stats, rqBefore skiphash.Ra
 		if total := d.Commits + d.Aborts; total > 0 {
 			row.AbortRate = float64(d.Aborts) / float64(total)
 		}
+		row.FastReadHits = d.FastReadHits
+		row.FastReadFallbacks = d.FastReadFallbacks
 	}
 	if src, ok := m.(RangePathStats); ok {
 		d := src.RangeStats().Sub(rqBefore)

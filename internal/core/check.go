@@ -29,11 +29,11 @@ func (m *Map[K, V]) CheckInvariants(opts CheckOptions) error {
 	live := make(map[K]*node[K, V])
 	level0 := make(map[*node[K, V]]bool)
 	var prev *node[K, V] = m.head
-	for cur := m.head.next[0].Raw(); ; cur = cur.next[0].Raw() {
+	for cur := m.head.next0.Raw(); ; cur = cur.next0.Raw() {
 		if cur == nil {
 			return fmt.Errorf("level 0: nil link")
 		}
-		if back := cur.prev[0].Raw(); back != prev {
+		if back := cur.prev0.Raw(); back != prev {
 			return fmt.Errorf("level 0: prev link of %v broken", cur.key)
 		}
 		if cur.sentinel > 0 {
@@ -76,11 +76,11 @@ func (m *Map[K, V]) CheckInvariants(opts CheckOptions) error {
 	// Upper levels must be sub-chains of level 0 with mirrored links.
 	for l := 1; l < m.cfg.MaxLevel; l++ {
 		prev = m.head
-		for cur := m.head.next[l].Raw(); ; cur = cur.next[l].Raw() {
+		for cur := m.head.nextAt(l).Raw(); ; cur = cur.nextAt(l).Raw() {
 			if cur == nil {
 				return fmt.Errorf("level %d: nil link", l)
 			}
-			if back := cur.prev[l].Raw(); back != prev {
+			if back := cur.prevAt(l).Raw(); back != prev {
 				return fmt.Errorf("level %d: prev link of %v broken", l, cur.key)
 			}
 			if cur.sentinel > 0 {
@@ -124,7 +124,7 @@ func (m *Map[K, V]) CheckInvariants(opts CheckOptions) error {
 // protection; the map must be quiescent.
 func (m *Map[K, V]) SizeSlow() int {
 	n := 0
-	for cur := m.head.next[0].Raw(); cur.sentinel == 0; cur = cur.next[0].Raw() {
+	for cur := m.head.next0.Raw(); cur.sentinel == 0; cur = cur.next0.Raw() {
 		if cur.rTime.Raw() == rTimeNone {
 			n++
 		}
@@ -136,7 +136,7 @@ func (m *Map[K, V]) SizeSlow() int {
 // ones; with SizeSlow it measures deferred-reclamation backlog in tests.
 func (m *Map[K, V]) StitchedSlow() int {
 	n := 0
-	for cur := m.head.next[0].Raw(); cur.sentinel == 0; cur = cur.next[0].Raw() {
+	for cur := m.head.next0.Raw(); cur.sentinel == 0; cur = cur.next0.Raw() {
 		n++
 	}
 	return n

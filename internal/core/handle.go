@@ -21,6 +21,9 @@ type Handle[K comparable, V any] struct {
 	// adaptSkip counts remaining range queries that bypass the fast
 	// path under Config.Adaptive.
 	adaptSkip int
+	// fastC is the handle's striped fast-read counter cell; nil when
+	// Config.DisableReadFastPath turned the read fast path off.
+	fastC *stm.FastReadCounters
 
 	// buf is the removal buffer. It is appended to by the owning
 	// goroutine (in on-commit hooks) but handed off wholesale by
@@ -79,6 +82,9 @@ func (m *Map[K, V]) NewTransientHandle() *Handle[K, V] {
 	h := &Handle[K, V]{
 		m:     m,
 		preds: make([]*node[K, V], m.cfg.MaxLevel),
+	}
+	if !m.cfg.DisableReadFastPath {
+		h.fastC = m.rt.FastReadCounters()
 	}
 	if m.cfg.RemovalBufferSize > 0 {
 		h.buf = make([]*node[K, V], 0, m.cfg.RemovalBufferSize)
@@ -208,8 +214,19 @@ func (h *Handle[K, V]) bankStats() {
 }
 
 // Lookup returns the value associated with k. O(1): one hash map probe
-// and at most one extra read (Fig. 1).
+// and at most one extra read (Fig. 1). Unless Config.DisableReadFastPath
+// is set, the probe first runs optimistically outside any transaction —
+// one clock sample, a raw bucket walk, one orec revalidation — and only
+// a torn or concurrent-write observation falls back to the full
+// transaction below, which remains the source of truth.
 func (h *Handle[K, V]) Lookup(k K) (V, bool) {
+	if h.fastC != nil {
+		if v, present, answered := h.m.lookupFast(k); answered {
+			h.fastC.Hit()
+			return v, present
+		}
+		h.fastC.Fallback()
+	}
 	var v V
 	var ok bool
 	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
@@ -219,8 +236,16 @@ func (h *Handle[K, V]) Lookup(k K) (V, bool) {
 	return v, ok
 }
 
-// Contains reports whether k is present.
+// Contains reports whether k is present, on the same optimistic fast
+// path as Lookup.
 func (h *Handle[K, V]) Contains(k K) bool {
+	if h.fastC != nil {
+		if present, answered := h.m.containsFast(k); answered {
+			h.fastC.Hit()
+			return present
+		}
+		h.fastC.Fallback()
+	}
 	var ok bool
 	_ = h.m.rt.Atomic(func(tx *stm.Tx) error {
 		ok = h.m.containsTx(tx, k)

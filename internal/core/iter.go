@@ -44,18 +44,18 @@ func (h *Handle[K, V]) ascend(from *K, fn func(k K, v V) bool) {
 			buf = buf[:0]
 			var c *node[K, V]
 			if !haveCursor {
-				c = m.head.next[0].Load(tx, &m.head.orec)
+				c = m.head.next0.Load(tx, &m.head.orec)
 			} else {
 				c = m.ceilNodeTx(tx, h, cursor)
 				if !inclusive && c.sentinel == 0 && !m.less(cursor, c.key) {
-					c = c.next[0].Load(tx, &c.orec)
+					c = c.next0.Load(tx, &c.orec)
 				}
 			}
 			for c.sentinel == 0 && len(buf) < iterChunk {
 				if !c.deleted(tx) {
 					buf = append(buf, Pair[K, V]{Key: c.key, Val: c.val})
 				}
-				c = c.next[0].Load(tx, &c.orec)
+				c = c.next0.Load(tx, &c.orec)
 			}
 			return nil
 		})
@@ -103,23 +103,23 @@ func (h *Handle[K, V]) descend(from *K, fn func(k K, v V) bool) {
 			buf = buf[:0]
 			var c *node[K, V]
 			if !haveCursor {
-				c = m.tail.prev[0].Load(tx, &m.tail.orec)
+				c = m.tail.prev0.Load(tx, &m.tail.orec)
 			} else if inclusive {
 				// First node > cursor, then one step back: the last
 				// node with key <= cursor (possibly deleted; the walk
 				// below skips those).
 				first := m.findPreds(tx, cursor, h.preds, m.nodeBeforeOrAt)
-				c = first.prev[0].Load(tx, &first.orec)
+				c = first.prev0.Load(tx, &first.orec)
 			} else {
 				// First node >= cursor, then back: last node < cursor.
 				first := m.findPreds(tx, cursor, h.preds, m.nodeBefore)
-				c = first.prev[0].Load(tx, &first.orec)
+				c = first.prev0.Load(tx, &first.orec)
 			}
 			for c.sentinel == 0 && len(buf) < iterChunk {
 				if !c.deleted(tx) {
 					buf = append(buf, Pair[K, V]{Key: c.key, Val: c.val})
 				}
-				c = c.prev[0].Load(tx, &c.orec)
+				c = c.prev0.Load(tx, &c.orec)
 			}
 			return nil
 		})

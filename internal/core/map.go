@@ -48,6 +48,13 @@ type Config struct {
 	Adaptive bool
 	// AdaptiveSkip is the probe window for Adaptive (default 16).
 	AdaptiveSkip int
+	// DisableReadFastPath turns off the optimistic non-transactional
+	// read fast path for Lookup/Contains and the cache warm-up descent
+	// it gives range queries, forcing every point read through a full
+	// STM transaction. The zero value keeps the fast path on; the switch
+	// exists for the benchmark ablation (the "txread" series) and for
+	// debugging.
+	DisableReadFastPath bool
 	// RemovalBufferSize is the per-handle buffer of logically deleted
 	// nodes whose unstitching is batched (§4.5, size 32 in the paper).
 	// Zero selects the paper's default of 32 (the zero Config is the
@@ -239,8 +246,8 @@ func NewIn[K comparable, V any](rt *stm.Runtime, less func(a, b K) bool, hash fu
 	m.tail = newNode[K, V](cfg.MaxLevel)
 	m.tail.sentinel = 1
 	for l := 0; l < cfg.MaxLevel; l++ {
-		m.head.next[l].Init(m.tail)
-		m.tail.prev[l].Init(m.head)
+		m.head.nextAt(l).Init(m.tail)
+		m.tail.prevAt(l).Init(m.head)
 	}
 	m.handlePool.New = func() any { return m.NewTransientHandle() }
 	if cfg.Maintenance {
@@ -376,7 +383,7 @@ func (m *Map[K, V]) findPreds(tx *stm.Tx, k K, preds []*node[K, V], before func(
 	cur := m.head
 	for l := m.cfg.MaxLevel - 1; l >= 0; l-- {
 		for {
-			nxt := cur.next[l].Load(tx, &cur.orec)
+			nxt := cur.nextAt(l).Load(tx, &cur.orec)
 			if !before(nxt, k) {
 				break
 			}
@@ -384,7 +391,7 @@ func (m *Map[K, V]) findPreds(tx *stm.Tx, k K, preds []*node[K, V], before func(
 		}
 		preds[l] = cur
 	}
-	return preds[0].next[0].Load(tx, &preds[0].orec)
+	return preds[0].next0.Load(tx, &preds[0].orec)
 }
 
 // lookupTx is Figure 1's lookup: the hash map routes straight to the
@@ -403,6 +410,51 @@ func (m *Map[K, V]) containsTx(tx *stm.Tx, k K) bool {
 	return m.index.GetPtrTx(tx, k) != nil
 }
 
+// lookupFast is lookupTx without the transaction: one optimistic index
+// probe validated against the bucket's orec word alone — no clock, no
+// descriptor. The third result reports whether the fast path answered;
+// on false the caller must fall back to lookupTx in a full transaction.
+// Validating the single bucket orec suffices for linearizability: index
+// membership is exactly logical presence (insert and remove update the
+// index inside the same transaction that stitches or stamps the node), a
+// node's key and value are immutable once published, and any commit
+// touching the bucket between sample and revalidation releases the orec
+// at a strictly newer version, changing the sampled word. A validated
+// probe therefore observed the one committed state current at its sample
+// instant and linearizes there, with the same residual
+// acquire/write/rollback exposure as the transactional read protocol
+// (see the stm package doc).
+func (m *Map[K, V]) lookupFast(k K) (v V, present, answered bool) {
+	n, ok := m.index.GetPtrFast(k)
+	if !ok {
+		return v, false, false
+	}
+	if n == nil {
+		return v, false, true
+	}
+	return n.val, true, true
+}
+
+// containsFast is containsTx on the optimistic fast path; see lookupFast.
+func (m *Map[K, V]) containsFast(k K) (present, answered bool) {
+	n, ok := m.index.GetPtrFast(k)
+	if !ok {
+		return false, false
+	}
+	return n != nil, true
+}
+
+// Prefetch warms the cache lines a point read of k will touch — the hash
+// bucket chain and the node's hot line — through atomic loads the
+// compiler cannot elide. It has no consistency implications and returns
+// nothing; the server's drain loop uses it to overlap the next run's
+// index probes with the current run's execution.
+func (m *Map[K, V]) Prefetch(k K) {
+	if n := m.index.PrefetchPtr(k); n != nil {
+		_ = n.rTime.Raw()
+	}
+}
+
 // insertTx is Figure 2's insert. h supplies the scratch predecessor
 // array; the caller owns the enclosing transaction.
 func (m *Map[K, V]) insertTx(tx *stm.Tx, h *Handle[K, V], k K, v V) bool {
@@ -418,11 +470,11 @@ func (m *Map[K, V]) insertTx(tx *stm.Tx, h *Handle[K, V], k K, v V) bool {
 	n.iTime = m.rqc.onUpdate(tx)
 	for l := 0; l < n.height(); l++ {
 		p := h.preds[l]
-		s := p.next[l].Load(tx, &p.orec)
-		n.prev[l].Init(p)
-		n.next[l].Init(s)
-		p.next[l].Store(tx, &p.orec, n)
-		s.prev[l].Store(tx, &s.orec, n)
+		s := p.nextAt(l).Load(tx, &p.orec)
+		n.prevAt(l).Init(p)
+		n.nextAt(l).Init(s)
+		p.nextAt(l).Store(tx, &p.orec, n)
+		s.prevAt(l).Store(tx, &s.orec, n)
 	}
 	m.index.InsertPtrTx(tx, k, n)
 	if m.logger != nil {
@@ -454,10 +506,10 @@ func (m *Map[K, V]) removeTx(tx *stm.Tx, h *Handle[K, V], k K) bool {
 func (m *Map[K, V]) unstitchTx(tx *stm.Tx, n *node[K, V]) {
 	tx.Acquire(&n.orec)
 	for l := 0; l < n.height(); l++ {
-		p := n.prev[l].Load(tx, &n.orec)
-		s := n.next[l].Load(tx, &n.orec)
-		p.next[l].Store(tx, &p.orec, s)
-		s.prev[l].Store(tx, &s.orec, p)
+		p := n.prevAt(l).Load(tx, &n.orec)
+		s := n.nextAt(l).Load(tx, &n.orec)
+		p.nextAt(l).Store(tx, &p.orec, s)
+		s.prevAt(l).Store(tx, &s.orec, p)
 	}
 }
 
@@ -470,7 +522,7 @@ func (m *Map[K, V]) ceilNodeTx(tx *stm.Tx, h *Handle[K, V], k K) *node[K, V] {
 	}
 	c := m.findPreds(tx, k, h.preds, m.nodeBefore)
 	for c.sentinel == 0 && c.deleted(tx) {
-		c = c.next[0].Load(tx, &c.orec)
+		c = c.next0.Load(tx, &c.orec)
 	}
 	return c
 }
@@ -485,12 +537,12 @@ func (m *Map[K, V]) ceilTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
 func (m *Map[K, V]) succTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
 	var c *node[K, V]
 	if n := m.index.GetPtrTx(tx, k); n != nil {
-		c = n.next[0].Load(tx, &n.orec)
+		c = n.next0.Load(tx, &n.orec)
 	} else {
 		c = m.findPreds(tx, k, h.preds, m.nodeBeforeOrAt)
 	}
 	for c.sentinel == 0 && c.deleted(tx) {
-		c = c.next[0].Load(tx, &c.orec)
+		c = c.next0.Load(tx, &c.orec)
 	}
 	return m.liveKeyOf(c)
 }
@@ -501,9 +553,9 @@ func (m *Map[K, V]) floorTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
 		return n.key, n.val, true
 	}
 	c := m.findPreds(tx, k, h.preds, m.nodeBefore)
-	p := c.prev[0].Load(tx, &c.orec)
+	p := c.prev0.Load(tx, &c.orec)
 	for p.sentinel == 0 && p.deleted(tx) {
-		p = p.prev[0].Load(tx, &p.orec)
+		p = p.prev0.Load(tx, &p.orec)
 	}
 	return m.liveKeyOf(p)
 }
@@ -512,13 +564,13 @@ func (m *Map[K, V]) floorTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
 func (m *Map[K, V]) predTx(tx *stm.Tx, h *Handle[K, V], k K) (K, V, bool) {
 	var c *node[K, V]
 	if n := m.index.GetPtrTx(tx, k); n != nil {
-		c = n.prev[0].Load(tx, &n.orec)
+		c = n.prev0.Load(tx, &n.orec)
 	} else {
 		first := m.findPreds(tx, k, h.preds, m.nodeBefore)
-		c = first.prev[0].Load(tx, &first.orec)
+		c = first.prev0.Load(tx, &first.orec)
 	}
 	for c.sentinel == 0 && c.deleted(tx) {
-		c = c.prev[0].Load(tx, &c.orec)
+		c = c.prev0.Load(tx, &c.orec)
 	}
 	return m.liveKeyOf(c)
 }

@@ -20,36 +20,76 @@ const rTimeNone = ^uint64(0)
 // fields. One orec guards all mutable state (links, r_time, the deferred
 // chain link); key, val, height and i_time are immutable once the node is
 // published, which is the "const field" optimization modern STMs reward.
+//
+// The declaration order is the memory layout, and it is deliberate:
+// everything a point read or a level-0 walk touches — the orec, the
+// level-0 links, both deletion stamps, key and value — comes first, so
+// for word-sized keys and values the entire hot set lands in the node's
+// first cache line (node_layout_test.go guards the offsets). Levels >= 1
+// exist only on the minority of nodes a tower descent visits and live in
+// a separately allocated up slice; a height-1 node (half of all nodes)
+// allocates no tower at all, where the old twin prev/next slices cost
+// two allocations per node regardless of height.
 type node[K comparable, V any] struct {
 	orec stm.Orec
 
-	key      K
-	val      V
-	sentinel int8 // 0 interior, -1 head, +1 tail
+	// next0/prev0 are the level-0 list links, inlined so the walks that
+	// dominate every workload (point reads via the index, range scans,
+	// iteration) never chase a slice header off the node's first line.
+	next0 stm.Ptr[node[K, V]]
+	prev0 stm.Ptr[node[K, V]]
+
+	// rTime is rTimeNone while the node is logically present; a removal
+	// stamps it with the most recent range query's version.
+	rTime stm.U64
 
 	// iTime is the version of the last slow-path range query that began
 	// before this node's insertion (§4.2). It is written inside the
 	// inserting transaction, before the node becomes reachable.
 	iTime uint64
 
-	// rTime is rTimeNone while the node is logically present; a removal
-	// stamps it with the most recent range query's version.
-	rTime stm.U64
+	key      K
+	val      V
+	sentinel int8 // 0 interior, -1 head, +1 tail
 
-	// prev[l]/next[l] are the level-l tower links; len == height.
-	prev []stm.Ptr[node[K, V]]
-	next []stm.Ptr[node[K, V]]
+	// up holds the tower links for levels 1..height-1; nil for height-1
+	// nodes. up[l-1] is level l.
+	up []tower[K, V]
 
 	// dnext chains the node into an RQC deferred-removal list.
 	dnext stm.Ptr[node[K, V]]
 }
 
-func (n *node[K, V]) height() int { return len(n.next) }
+// tower is one level of a node's upper links, paired so each level's
+// next/prev share a cache line slot instead of living in parallel slices.
+type tower[K comparable, V any] struct {
+	next stm.Ptr[node[K, V]]
+	prev stm.Ptr[node[K, V]]
+}
+
+func (n *node[K, V]) height() int { return 1 + len(n.up) }
+
+// nextAt returns the level-l forward link. Level 0 is inlined in the
+// node; the bounds check on up is the only cost of the split.
+func (n *node[K, V]) nextAt(l int) *stm.Ptr[node[K, V]] {
+	if l == 0 {
+		return &n.next0
+	}
+	return &n.up[l-1].next
+}
+
+// prevAt returns the level-l backward link.
+func (n *node[K, V]) prevAt(l int) *stm.Ptr[node[K, V]] {
+	if l == 0 {
+		return &n.prev0
+	}
+	return &n.up[l-1].prev
+}
 
 func newNode[K comparable, V any](height int) *node[K, V] {
-	n := &node[K, V]{
-		prev: make([]stm.Ptr[node[K, V]], height),
-		next: make([]stm.Ptr[node[K, V]], height),
+	n := &node[K, V]{}
+	if height > 1 {
+		n.up = make([]tower[K, V], height-1)
 	}
 	n.rTime.Init(rTimeNone)
 	return n

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/stm"
+)
+
+// TestNodeHotFieldsFitOneCacheLine guards the cache-conscious layout
+// node.go documents: for word-sized keys and values, everything a point
+// read or level-0 walk touches must land in the node's first 64 bytes.
+// A field reorder or a type growing past a word shows up here as a
+// failing offset, not as a silent throughput regression.
+func TestNodeHotFieldsFitOneCacheLine(t *testing.T) {
+	const line = 64
+	var n node[int64, int64]
+	hot := []struct {
+		name string
+		off  uintptr
+		size uintptr
+	}{
+		{"orec", unsafe.Offsetof(n.orec), unsafe.Sizeof(n.orec)},
+		{"next0", unsafe.Offsetof(n.next0), unsafe.Sizeof(n.next0)},
+		{"prev0", unsafe.Offsetof(n.prev0), unsafe.Sizeof(n.prev0)},
+		{"rTime", unsafe.Offsetof(n.rTime), unsafe.Sizeof(n.rTime)},
+		{"iTime", unsafe.Offsetof(n.iTime), unsafe.Sizeof(n.iTime)},
+		{"key", unsafe.Offsetof(n.key), unsafe.Sizeof(n.key)},
+		{"val", unsafe.Offsetof(n.val), unsafe.Sizeof(n.val)},
+		{"sentinel", unsafe.Offsetof(n.sentinel), unsafe.Sizeof(n.sentinel)},
+	}
+	for _, f := range hot {
+		if end := f.off + f.size; end > line {
+			t.Errorf("hot field %s spans [%d, %d), past the first %d-byte line",
+				f.name, f.off, end, line)
+		}
+	}
+	// The orec leads the struct: the fast path samples it before touching
+	// anything else, and sharing its line with the level-0 links is the
+	// point of the layout.
+	if off := unsafe.Offsetof(n.orec); off != 0 {
+		t.Errorf("orec at offset %d, want 0", off)
+	}
+}
+
+// TestNodeSizeBudget pins the whole node's footprint for the word-sized
+// instantiation, so an accidental field addition (or a field type
+// gaining padding) is caught at review time. Two lines: the hot line
+// plus the cold tail (tower slice header and deferred-chain link).
+func TestNodeSizeBudget(t *testing.T) {
+	got := unsafe.Sizeof(node[int64, int64]{})
+	if got > 128 {
+		t.Errorf("node[int64,int64] is %d bytes, exceeding the two-line (128 B) budget", got)
+	}
+	if unsafe.Sizeof(tower[int64, int64]{}) != 2*unsafe.Sizeof(uintptr(0)) {
+		t.Errorf("tower[int64,int64] is %d bytes, want two words", unsafe.Sizeof(tower[int64, int64]{}))
+	}
+}
+
+// TestFastReadCountersPadding keeps each striped counter cell on its own
+// cache line; false sharing between stripes would silently serialize the
+// very path the striping exists to scale.
+func TestFastReadCountersPadding(t *testing.T) {
+	if got := unsafe.Sizeof(stm.FastReadCounters{}); got != 64 {
+		t.Errorf("FastReadCounters is %d bytes, want exactly one 64-byte line", got)
+	}
+}

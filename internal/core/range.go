@@ -9,6 +9,9 @@ import (
 // appended to out; ErrAborted indicates the caller should try again or
 // fall back.
 func (m *Map[K, V]) rangeFast(h *Handle[K, V], l, r K, out []Pair[K, V]) ([]Pair[K, V], error) {
+	if !m.cfg.DisableReadFastPath {
+		m.warmDescent(l)
+	}
 	res := out
 	err := m.rt.TryOnce(func(tx *stm.Tx) error {
 		res = out
@@ -17,7 +20,7 @@ func (m *Map[K, V]) rangeFast(h *Handle[K, V], l, r K, out []Pair[K, V]) ([]Pair
 			if !c.deleted(tx) {
 				res = append(res, Pair[K, V]{Key: c.key, Val: c.val})
 			}
-			c = c.next[0].Load(tx, &c.orec)
+			c = c.next0.Load(tx, &c.orec)
 		}
 		return nil
 	})
@@ -25,6 +28,26 @@ func (m *Map[K, V]) rangeFast(h *Handle[K, V], l, r K, out []Pair[K, V]) ([]Pair
 		return out, err
 	}
 	return res, nil
+}
+
+// warmDescent walks the tower toward l through the links' atomic backing,
+// with no transaction and no validation, purely to pull the descent's
+// cache lines (and their orec words) before the fast-path transaction
+// replays the same search. Wrong turns from concurrent splices are
+// harmless — the transactional descent re-reads everything — and the walk
+// terminates because inserts, removals and their undos never create a
+// level cycle. Only immutable fields (key, sentinel) feed the navigation.
+func (m *Map[K, V]) warmDescent(k K) {
+	cur := m.head
+	for l := m.cfg.MaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := cur.nextAt(l).Raw()
+			if nxt == nil || !m.nodeBefore(nxt, k) {
+				break
+			}
+			cur = nxt
+		}
+	}
 }
 
 // rangeSlow runs Figure 3's slow path. One transaction finds the first
@@ -110,9 +133,9 @@ func (s *SlowRange[K, V]) Finish() {
 // range query with version ver. The tail sentinel is always safe, so the
 // walk terminates.
 func (m *Map[K, V]) nextSafe(tx *stm.Tx, n *node[K, V], ver uint64) *node[K, V] {
-	c := n.next[0].Load(tx, &n.orec)
+	c := n.next0.Load(tx, &n.orec)
 	for !m.isSafe(tx, c, ver) {
-		c = c.next[0].Load(tx, &c.orec)
+		c = c.next0.Load(tx, &c.orec)
 	}
 	return c
 }
@@ -141,7 +164,7 @@ func (m *Map[K, V]) rangeTx(tx *stm.Tx, h *Handle[K, V], l, r K, out []Pair[K, V
 		if !c.deleted(tx) {
 			out = append(out, Pair[K, V]{Key: c.key, Val: c.val})
 		}
-		c = c.next[0].Load(tx, &c.orec)
+		c = c.next0.Load(tx, &c.orec)
 	}
 	return out
 }

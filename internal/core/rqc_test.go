@@ -145,9 +145,9 @@ func TestSafeNodePredicate(t *testing.T) {
 		if !m.isSafe(tx, m.head, ver) || !m.isSafe(tx, m.tail, ver) {
 			t.Error("sentinels must always be safe")
 		}
-		n10 := m.head.next[0].Load(tx, &m.head.orec)
+		n10 := m.head.next0.Load(tx, &m.head.orec)
 		for n10.sentinel == 0 && n10.key != 10 {
-			n10 = n10.next[0].Load(tx, &n10.orec)
+			n10 = n10.next0.Load(tx, &n10.orec)
 		}
 		if n10.sentinel != 0 {
 			t.Fatal("node 10 not found stitched")

@@ -55,11 +55,11 @@ func (m *Map[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []
 			stamp = tx.Start()
 			var c *node[K, V]
 			if !haveCursor {
-				c = m.head.next[0].Load(tx, &m.head.orec)
+				c = m.head.next0.Load(tx, &m.head.orec)
 			} else {
 				c = m.ceilNodeTx(tx, h, cursor)
 				if cursorLive && c.sentinel == 0 && !m.less(cursor, c.key) {
-					c = c.next[0].Load(tx, &c.orec)
+					c = c.next0.Load(tx, &c.orec)
 				}
 			}
 			scanned := 0
@@ -69,7 +69,7 @@ func (m *Map[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []
 				}
 				last = c.key
 				scanned++
-				c = c.next[0].Load(tx, &c.orec)
+				c = c.next0.Load(tx, &c.orec)
 			}
 			end = c.sentinel != 0
 			return nil

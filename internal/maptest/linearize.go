@@ -46,6 +46,11 @@ type WorkloadOptions struct {
 	Ranges bool
 	// Batches mixes in 2-4 step atomic batches (needs Batcher).
 	Batches bool
+	// LookupPct, when positive, reserves that percentage of operations
+	// for point lookups — the read-heavy mix that drives the optimistic
+	// read fast path — while the remaining operations keep the default
+	// mix's relative weights. Zero keeps the default mix.
+	LookupPct int
 	// Scheduler, when set, serializes the run under the deterministic
 	// step scheduler: workers attach to it and are started one at a
 	// time so the interleaving derives from the scheduler's seed.
@@ -80,6 +85,17 @@ func RecordHistory(m OrderedMap, o WorkloadOptions) []linearize.Op {
 				v := int64(c)<<24 | int64(i)<<4
 				op := linearize.Op{Key: k}
 				r := rng.Uint64() % 100
+				if pct := uint64(o.LookupPct); pct > 0 {
+					if r < pct {
+						// Out-of-range r falls through every case below to
+						// the default arm, which is Lookup.
+						r = 100
+					} else {
+						// Rescale the residual draw so the other ops keep
+						// their relative weights.
+						r = (r - pct) * 100 / (100 - pct)
+					}
+				}
 				switch {
 				case r < 30:
 					op.Kind = linearize.Insert

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/skiphash"
+)
+
+// benchConn builds an executor-side conn over a discarding writer, so a
+// benchmark can drive drain cycles (execute + encode) without sockets.
+func benchConn(b *testing.B, mapCfg skiphash.Config) (*conn, *skiphash.Sharded[int64, int64]) {
+	b.Helper()
+	m, err := skiphash.OpenInt64Sharded[int64](mapCfg, skiphash.Int64Codec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	srv := New(NewShardedBackend(m), Config{})
+	c := &conn{
+		srv:   srv,
+		bw:    bufio.NewWriterSize(io.Discard, 64<<10),
+		resps: make([]wire.Response, srv.cfg.MaxBatch),
+	}
+	return c, m
+}
+
+// BenchmarkDrainCycleGets measures one drain cycle of a pure-read run:
+// the read-segregated path (direct Gets plus prefetch) and response
+// encoding. The allocation budget here should be zero — this is the
+// serving layer's hottest loop.
+func BenchmarkDrainCycleGets(b *testing.B) {
+	c, m := benchConn(b, skiphash.Config{Shards: 1})
+	for k := int64(0); k < 1024; k++ {
+		m.Insert(k, k)
+	}
+	batch := make([]wire.Request, 64)
+	for i := range batch {
+		batch[i] = wire.Request{ID: uint64(i), Op: wire.OpGet, Key: int64(i) % 1024}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.execute(batch)
+	}
+}
+
+// BenchmarkDrainCycleMixed measures a drain cycle whose run coalesces
+// into one Atomic transaction (reads and writes interleaved).
+func BenchmarkDrainCycleMixed(b *testing.B) {
+	c, m := benchConn(b, skiphash.Config{Shards: 1})
+	for k := int64(0); k < 1024; k++ {
+		m.Insert(k, k)
+	}
+	batch := make([]wire.Request, 64)
+	for i := range batch {
+		if i%4 == 0 {
+			batch[i] = wire.Request{ID: uint64(i), Op: wire.OpPut, Key: int64(i) % 1024, Val: int64(i)}
+		} else {
+			batch[i] = wire.Request{ID: uint64(i), Op: wire.OpGet, Key: int64(i) % 1024}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.execute(batch)
+	}
+}

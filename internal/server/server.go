@@ -22,6 +22,13 @@
 // shards executes alone and fails with StatusCrossShard, exactly as
 // the embedded map's Atomic would.
 //
+// Reads are segregated from writes: a coalesced run consisting purely
+// of Gets skips the atomic-txn machinery and is answered through the
+// backend's direct read path (the map's optimistic non-transactional
+// fast path), and while one run executes the drain loop issues index
+// prefetches for the next run's keys, overlapping its descent with the
+// current run's work.
+//
 // Coalescing preserves each request's semantics. Every operation in a
 // coalesced transaction takes effect at the transaction's single
 // commit point, which lies after all of the operations' invocations
@@ -73,6 +80,15 @@ type Backend interface {
 	// commits or rolls back together. Like the map's own Atomic, fn may
 	// re-execute on conflict.
 	Atomic(fn func(op Batch) error) error
+	// Get answers one point read directly — through the map's optimistic
+	// non-transactional fast path when enabled, with a per-read
+	// transactional fallback. The executor routes pure-read runs here so
+	// they skip the atomic-txn machinery entirely.
+	Get(k int64) (int64, bool)
+	// Prefetch warms the cache lines a read or write of k will touch; a
+	// pure cache side effect the drain loop issues for the next run's
+	// keys while the current run executes.
+	Prefetch(k int64)
 	// Range collects [l, r] in key order, appending to out.
 	Range(l, r int64, out []Pair) []Pair
 	// ShardOf reports which coalescing domain k belongs to; always 0
@@ -444,8 +460,78 @@ func (c *conn) execute(batch []wire.Request) {
 				}
 			}
 		}
-		c.execAtomic(batch[i:j])
+		if allGets(batch[i:j]) {
+			// Reads never join a transaction, so a pure-read run may also
+			// absorb the Gets a shard boundary would otherwise have split
+			// off into the next run.
+			for j < len(batch) && batch[j].Op == wire.OpGet {
+				j++
+			}
+			c.prefetchNext(batch, j)
+			c.execReads(batch[i:j])
+		} else {
+			c.prefetchNext(batch, j)
+			c.execAtomic(batch[i:j])
+		}
 		i = j
+	}
+}
+
+// allGets reports whether every request in the run is a point read.
+func allGets(group []wire.Request) bool {
+	for i := range group {
+		if group[i].Op != wire.OpGet {
+			return false
+		}
+	}
+	return true
+}
+
+// prefetchAhead bounds how many of the next run's keys are prefetched
+// per cycle; enough to cover a typical coalesced run without flooding
+// the cache ahead of execution.
+const prefetchAhead = 16
+
+// prefetchNext issues index prefetches for the keys of the requests that
+// follow the run about to execute, overlapping the next run's descent
+// with the current run's work. The pipelined queue presents the next run
+// already decoded, so this is a bounded scan and a handful of atomic
+// loads per cycle.
+func (c *conn) prefetchNext(batch []wire.Request, from int) {
+	be := c.srv.be
+	n := 0
+	for idx := from; idx < len(batch) && n < prefetchAhead; idx++ {
+		req := &batch[idx]
+		switch req.Op {
+		case wire.OpGet, wire.OpInsert, wire.OpPut, wire.OpDel:
+			be.Prefetch(req.Key)
+			n++
+		case wire.OpBatch:
+			for si := range req.Steps {
+				if n >= prefetchAhead {
+					break
+				}
+				be.Prefetch(req.Steps[si].Key)
+				n++
+			}
+		}
+	}
+}
+
+// execReads answers a pure-read run without the atomic-txn machinery:
+// each Get goes through the backend's direct read path (the map's
+// optimistic fast path, with a per-read transactional fallback). Each
+// read linearizes on its own between its invocation — the request was
+// already queued — and its response, so skipping the shared commit point
+// preserves every request's contract.
+func (c *conn) execReads(group []wire.Request) {
+	be := c.srv.be
+	var resp wire.Response
+	for idx := range group {
+		req := &group[idx]
+		resp = wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+		resp.Val, resp.Ok = be.Get(req.Key)
+		c.encodeResponse(&resp)
 	}
 }
 
@@ -606,6 +692,12 @@ func (b *MapBackend) Atomic(fn func(op Batch) error) error {
 	return b.m.Atomic(func(op *skiphash.Txn[int64, int64]) error { return fn(op) })
 }
 
+// Get implements Backend.
+func (b *MapBackend) Get(k int64) (int64, bool) { return b.m.Lookup(k) }
+
+// Prefetch implements Backend.
+func (b *MapBackend) Prefetch(k int64) { b.m.Prefetch(k) }
+
 // Range implements Backend.
 func (b *MapBackend) Range(l, r int64, out []Pair) []Pair { return b.m.Range(l, r, out) }
 
@@ -638,6 +730,12 @@ func NewShardedBackend(s *skiphash.Sharded[int64, int64]) *ShardedBackend {
 func (b *ShardedBackend) Atomic(fn func(op Batch) error) error {
 	return b.s.Atomic(func(op *skiphash.ShardedTxn[int64, int64]) error { return fn(op) })
 }
+
+// Get implements Backend.
+func (b *ShardedBackend) Get(k int64) (int64, bool) { return b.s.Lookup(k) }
+
+// Prefetch implements Backend.
+func (b *ShardedBackend) Prefetch(k int64) { b.s.Prefetch(k) }
 
 // Range implements Backend.
 func (b *ShardedBackend) Range(l, r int64, out []Pair) []Pair { return b.s.Range(l, r, out) }

@@ -339,8 +339,16 @@ func (s *Sharded[K, V]) STMStats() stm.Stats {
 		agg.ReadOnlyCommits += st.ReadOnlyCommits
 		agg.Aborts += st.Aborts
 		agg.UserErrors += st.UserErrors
+		agg.FastReadHits += st.FastReadHits
+		agg.FastReadFallbacks += st.FastReadFallbacks
 	}
 	return agg
+}
+
+// Prefetch warms the cache lines a point read of k will touch on its
+// home shard; see core.Map.Prefetch.
+func (s *Sharded[K, V]) Prefetch(k K) {
+	s.shards[s.shardOf(k)].Prefetch(k)
 }
 
 // RangeStats aggregates range-path counters: the shard-level fast/slow

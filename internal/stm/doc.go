@@ -52,4 +52,29 @@
 // runtime recovers; user code never observes it. A non-nil error returned
 // from the closure rolls the transaction back and is returned to the
 // caller without retrying.
+//
+// # Optimistic non-transactional reads
+//
+// A point read guarded by a single orec can bypass transactions and the
+// commit clock entirely: sample the orec's word (Orec.Sample, which
+// rejects a locked word), read fields through their atomic backing, then
+// revalidate that the word is unchanged (OrecSample.Valid). Start
+// timestamps exist to make reads of multiple orecs mutually consistent;
+// with exactly one orec, word equality across the read already proves
+// the walk observed the single committed state current at the sample
+// instant — any commit in between releases the orec at a strictly newer
+// version — so the read linearizes at its sample. The fallback invariant
+// is that the fast path must be exactly as strong as — and no stronger
+// than — a read-only transaction: Sample rejects in-flight writers like
+// the transactional readOrec, Valid applies the same word-unchanged
+// check as postRead, and any failure routes the caller to a full
+// transaction, which stays the source of truth for linearizability. In
+// particular, both paths share the same narrow acquire/write/rollback
+// window (an abort restores the pre-acquire orec word, so a writer's
+// entire lifetime fitting between Sample and Valid is indistinguishable
+// from no writer at all); the fast path deliberately does not try to
+// close a hole the transactional read protocol itself has, it only
+// mirrors it. Fast reads never acquire an orec, never write shared
+// memory, and are counted per runtime (Stats.FastReadHits /
+// Stats.FastReadFallbacks).
 package stm

@@ -27,6 +27,11 @@ type Runtime struct {
 
 	mu          sync.Mutex
 	descriptors []*Tx
+
+	// fastStripes are the striped fast-read counters (see fastread.go);
+	// fastStripeNext round-robins handle assignment across them.
+	fastStripes    [fastStripeCount]FastReadCounters
+	fastStripeNext atomic.Uint64
 }
 
 // hooksBox wraps the Hooks interface value so it can live in an
@@ -185,6 +190,7 @@ func (rt *Runtime) Stats() Stats {
 		s.Aborts += tx.stats.aborts.Load()
 		s.UserErrors += tx.stats.userErrors.Load()
 	}
+	rt.sumFastReads(&s)
 	return s
 }
 
@@ -200,15 +206,25 @@ type Stats struct {
 	// UserErrors counts transactions rolled back because the closure
 	// returned a non-nil error.
 	UserErrors uint64
+	// FastReadHits counts point reads answered by the optimistic
+	// non-transactional fast path (see fastread.go): no transaction
+	// started, no orec acquired.
+	FastReadHits uint64
+	// FastReadFallbacks counts fast-path attempts that observed a locked
+	// orec, a too-new version, or a failed revalidation and fell back to
+	// a full transaction (the fallback's commit is counted normally).
+	FastReadFallbacks uint64
 }
 
 // Sub returns the element-wise difference s - prev, for windowed
 // measurements.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Commits:         s.Commits - prev.Commits,
-		ReadOnlyCommits: s.ReadOnlyCommits - prev.ReadOnlyCommits,
-		Aborts:          s.Aborts - prev.Aborts,
-		UserErrors:      s.UserErrors - prev.UserErrors,
+		Commits:           s.Commits - prev.Commits,
+		ReadOnlyCommits:   s.ReadOnlyCommits - prev.ReadOnlyCommits,
+		Aborts:            s.Aborts - prev.Aborts,
+		UserErrors:        s.UserErrors - prev.UserErrors,
+		FastReadHits:      s.FastReadHits - prev.FastReadHits,
+		FastReadFallbacks: s.FastReadFallbacks - prev.FastReadFallbacks,
 	}
 }

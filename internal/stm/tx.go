@@ -3,6 +3,7 @@ package stm
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Tx is a transaction descriptor. A Tx is only ever used by one goroutine
@@ -20,7 +21,7 @@ type Tx struct {
 	active bool
 
 	reads    []readEntry
-	undo     []func()
+	undo     []undoEntry
 	acquired []acqEntry
 	hooks    []func()
 	publish  []func(stamp uint64)
@@ -60,6 +61,19 @@ type readEntry struct {
 type acqEntry struct {
 	orec *Orec
 	prev orecWord // pre-acquire version word, restored on abort
+}
+
+// undoEntry restores one field's pre-transaction image on abort. It is
+// a tagged union over the field kinds (exactly one slot pointer is
+// non-nil) so that logging a store appends a plain struct instead of
+// allocating a closure — the write path's only per-store heap
+// allocation before this layout.
+type undoEntry struct {
+	ptr  *unsafe.Pointer // pointer-backed fields (Ptr, Val)
+	u64  *atomic.Uint64  // word-backed fields (U64)
+	b    *atomic.Bool    // Bool fields
+	oldP unsafe.Pointer
+	oldU uint64 // word image; Bool stores 0/1 here
 }
 
 // txStats counts events for one descriptor. Counters are atomics so the
@@ -205,10 +219,24 @@ func (tx *Tx) acquire(o *Orec) {
 // relies on exactly this pattern.
 func (tx *Tx) Acquire(o *Orec) { tx.acquire(o) }
 
-// logUndo records an action that restores a field's pre-transaction
-// value. Undo actions run in reverse order on abort.
-func (tx *Tx) logUndo(fn func()) {
-	tx.undo = append(tx.undo, fn)
+// logUndoPtr records a pointer field's pre-transaction image. Undo
+// entries are applied in reverse order on abort.
+func (tx *Tx) logUndoPtr(slot *unsafe.Pointer, old unsafe.Pointer) {
+	tx.undo = append(tx.undo, undoEntry{ptr: slot, oldP: old})
+}
+
+// logUndoU64 records a uint64 field's pre-transaction image.
+func (tx *Tx) logUndoU64(slot *atomic.Uint64, old uint64) {
+	tx.undo = append(tx.undo, undoEntry{u64: slot, oldU: old})
+}
+
+// logUndoBool records a bool field's pre-transaction image.
+func (tx *Tx) logUndoBool(slot *atomic.Bool, old bool) {
+	var u uint64
+	if old {
+		u = 1
+	}
+	tx.undo = append(tx.undo, undoEntry{b: slot, oldU: u})
 }
 
 // OnCommit registers fn to run after this transaction commits. Hooks are
@@ -332,7 +360,15 @@ func (tx *Tx) commit() bool {
 // pre-acquire versions.
 func (tx *Tx) rollback() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
+		e := &tx.undo[i]
+		switch {
+		case e.ptr != nil:
+			atomic.StorePointer(e.ptr, e.oldP)
+		case e.u64 != nil:
+			e.u64.Store(e.oldU)
+		default:
+			e.b.Store(e.oldU != 0)
+		}
 	}
 	for i := range tx.acquired {
 		tx.acquired[i].orec.store(tx.acquired[i].prev)

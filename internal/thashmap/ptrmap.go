@@ -1,6 +1,8 @@
 package thashmap
 
 import (
+	"sync/atomic"
+
 	"repro/internal/stm"
 )
 
@@ -47,6 +49,66 @@ func (m *PtrMap[K, V]) bucketFor(k K) *ptrBucket[K, V] {
 func (m *PtrMap[K, V]) GetPtrTx(tx *stm.Tx, k K) *V {
 	b := m.bucketFor(k)
 	for e := b.head.Load(tx, &b.orec); e != nil; e = e.next.Load(tx, &b.orec) {
+		if e.key == k {
+			return e.val
+		}
+	}
+	return nil
+}
+
+// fastWalkHook, when installed, runs between a fast walk's orec sample
+// and its revalidation, so tests can deterministically force a
+// concurrent write into the validation window.
+var fastWalkHook atomic.Pointer[func()]
+
+// SetFastWalkHook installs fn (nil removes it) to run inside every
+// GetPtrFast between sample and validation. Test instrumentation only.
+func SetFastWalkHook(fn func()) {
+	if fn == nil {
+		fastWalkHook.Store(nil)
+		return
+	}
+	fastWalkHook.Store(&fn)
+}
+
+// GetPtrFast looks k up optimistically, without a transaction or a clock
+// sample: sample the bucket's orec, walk the chain through the fields'
+// atomic backing, revalidate. The chain stays acyclic under concurrent
+// inserts (prepends) and removals (splices) and their undos, so the raw
+// walk terminates; a torn observation is discarded by the revalidation.
+// ok reports whether the walk validated — on false the caller must fall
+// back to GetPtrTx, and v is meaningless. The single bucket orec guards
+// the whole chain, so one sample covers every link the walk dereferences.
+func (m *PtrMap[K, V]) GetPtrFast(k K) (v *V, ok bool) {
+	b := m.bucketFor(k)
+	s, ok := b.orec.Sample()
+	if !ok {
+		return nil, false
+	}
+	for e := b.head.Raw(); e != nil; e = e.next.Raw() {
+		if e.key == k {
+			v = e.val
+			break
+		}
+	}
+	if h := fastWalkHook.Load(); h != nil {
+		(*h)()
+	}
+	if !s.Valid() {
+		return nil, false
+	}
+	return v, true
+}
+
+// PrefetchPtr warms the cache lines a subsequent read of k will touch —
+// the bucket header and the chain entries — by walking the chain through
+// the atomic backing (atomic loads are never elided), and returns the
+// value pointer so the caller can touch the target object too. The result
+// carries no consistency guarantee; it exists only to be dereferenced for
+// its cache side effect.
+func (m *PtrMap[K, V]) PrefetchPtr(k K) *V {
+	b := m.bucketFor(k)
+	for e := b.head.Raw(); e != nil; e = e.next.Raw() {
 		if e.key == k {
 			return e.val
 		}

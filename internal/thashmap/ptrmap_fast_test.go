@@ -1,0 +1,93 @@
+package thashmap
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestGetPtrFastHitAndMiss(t *testing.T) {
+	rt, m := newPtrMap(17)
+	a := &payload{v: 1}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		return nil
+	})
+
+	if v, ok := m.GetPtrFast(1); !ok || v != a {
+		t.Errorf("GetPtrFast(present) = (%p, %v), want (%p, true)", v, ok, a)
+	}
+	// A validated miss is an answer, not a fallback: the bucket's orec
+	// proved the key absent for the whole walk.
+	if v, ok := m.GetPtrFast(2); !ok || v != nil {
+		t.Errorf("GetPtrFast(absent) = (%p, %v), want (nil, true)", v, ok)
+	}
+}
+
+func TestGetPtrFastFailsUnderWriterLock(t *testing.T) {
+	rt, m := newPtrMap(1) // single bucket: the write below locks every key's orec
+	a := &payload{v: 1}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		if _, ok := m.GetPtrFast(1); ok {
+			t.Error("fast read answered while the bucket orec was held")
+		}
+		return nil
+	})
+}
+
+func TestGetPtrFastHookForcedInvalidation(t *testing.T) {
+	rt, m := newPtrMap(1)
+	a := &payload{v: 1}
+	b := &payload{v: 2}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		return nil
+	})
+
+	// The hook fires after the chain walk and before revalidation —
+	// committing a write there deterministically forces the torn-read
+	// case the post-walk Valid check exists for.
+	fired := 0
+	hook := func() {
+		fired++
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			m.RemoveTx(tx, 1)
+			m.InsertPtrTx(tx, 2, b)
+			return nil
+		})
+	}
+	SetFastWalkHook(hook)
+	defer SetFastWalkHook(nil)
+
+	if _, ok := m.GetPtrFast(1); ok {
+		t.Error("fast read validated across a concurrent commit")
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+
+	SetFastWalkHook(nil)
+	// With the writer gone the retry validates and sees the new state.
+	if v, ok := m.GetPtrFast(2); !ok || v != b {
+		t.Errorf("GetPtrFast(2) after invalidation = (%p, %v), want (%p, true)", v, ok, b)
+	}
+	if v, ok := m.GetPtrFast(1); !ok || v != nil {
+		t.Errorf("GetPtrFast(1) after removal = (%p, %v), want (nil, true)", v, ok)
+	}
+}
+
+func TestPrefetchPtr(t *testing.T) {
+	rt, m := newPtrMap(17)
+	a := &payload{v: 1}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		return nil
+	})
+	if got := m.PrefetchPtr(1); got != a {
+		t.Errorf("PrefetchPtr(present) = %p, want %p", got, a)
+	}
+	if got := m.PrefetchPtr(2); got != nil {
+		t.Errorf("PrefetchPtr(absent) = %p, want nil", got)
+	}
+}

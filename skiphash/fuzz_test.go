@@ -22,6 +22,9 @@ func FuzzOps(f *testing.F) {
 	f.Add([]byte{0, 250, 0, 251, 0, 252, 0, 253, 7, 250, 251, 1, 250, 2, 251})
 	f.Add([]byte{8, 2, 0, 1, 1, 2, 0, 3, 2, 3})
 	f.Add([]byte{0, 1, 9, 2, 20, 3, 7, 4, 7, 0, 9, 5, 17, 6, 30, 7, 0, 40, 8, 1, 2, 9})
+	// Fast-path reads interleaved with writes on the same keys: every
+	// Lookup lands between commits that move the keys' bucket orecs.
+	f.Add([]byte{0, 5, 2, 5, 1, 5, 2, 5, 3, 6, 2, 6, 0, 6, 2, 7, 1, 6, 2, 6})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {

@@ -21,6 +21,15 @@
 // logically deleted nodes it still needs are kept stitched until it
 // finishes.
 //
+// Point reads (Lookup, Contains) go further: they first try an
+// optimistic fast path that bypasses the STM entirely, walking the hash
+// index raw and validating the bucket's ownership record word before
+// and after the walk (a seqlock-style sample/revalidate, with no clock
+// read and no transaction descriptor). A validated walk is linearizable
+// as-is; any interference falls back to the ordinary read-only
+// transaction, which remains the source of truth.
+// Config.DisableReadFastPath disables the bypass.
+//
 // # Usage
 //
 //	m := skiphash.NewInt64(skiphash.Config{})
