@@ -12,6 +12,7 @@
 //	skipbench persist          # durability overhead: WAL off vs fsync policies
 //	skipbench net              # serving layer: closed-loop vs pipelined clients
 //	skipbench read             # read fast path: optimistic Get vs transactional Get
+//	skipbench repl             # replication: primary reads vs barriered replica fan-out
 //	skipbench all              # everything
 //
 // Flags:
@@ -118,6 +119,8 @@ func main() {
 		err = bench.Net(os.Stdout, opts)
 	case "read":
 		err = bench.ReadBench(os.Stdout, opts)
+	case "repl":
+		err = bench.Repl(os.Stdout, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -151,6 +154,10 @@ func main() {
 		}
 		if err == nil {
 			err = bench.ReadBench(os.Stdout, opts)
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Repl(os.Stdout, opts)
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -200,7 +207,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|read|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|read|repl|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

@@ -17,11 +17,23 @@
 // net/http/pprof on a loopback address for live CPU/heap profiling of
 // the drain loop.
 //
+// Replication: with -replicate-addr a durable (-dir, non-isolated)
+// server additionally streams its WAL to followers on that address.
+// With -follow the daemon runs as a live replica instead: it syncs
+// from the named primary's replication address, serves read-only
+// traffic on -addr/-unix at its commit-stamp watermark (writes answer
+// StatusReadOnly), and becomes writable when a client sends Promote —
+// the replica's clock is floored above every applied stamp, so
+// post-promotion commits extend the primary's order. A promoted
+// replica is not durable and not replicating; restart it with -dir to
+// resume either.
+//
 // Usage:
 //
 //	skiphashd [-addr host:port] [-unix path]
 //	          [-shards n] [-isolated] [-maintenance]
 //	          [-dir path] [-fsync none|interval|always] [-fsync-every d]
+//	          [-replicate-addr host:port | -follow host:port]
 //	          [-max-conns n] [-max-batch n] [-write-timeout d] [-idle-timeout d]
 //	          [-drain-timeout d] [-stats-every d] [-pprof host:port] [-quiet]
 package main
@@ -41,9 +53,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/skiphash"
 )
+
+// walTapper is the persistence engine's WAL tap surface.
+type walTapper interface {
+	TapWAL(func(stamp uint64, count int, ops []byte))
+}
 
 func main() {
 	var (
@@ -55,6 +74,8 @@ func main() {
 		dir          = flag.String("dir", "", "durability directory (empty = in-memory only)")
 		fsync        = flag.String("fsync", "interval", "WAL fsync policy: none, interval, always")
 		fsyncEvery   = flag.Duration("fsync-every", 0, "interval policy's fsync period (0 = engine default)")
+		replAddr     = flag.String("replicate-addr", "", "stream the WAL to followers on this TCP address (requires -dir, excludes -isolated)")
+		follow       = flag.String("follow", "", "run as a live replica of this primary replication address (excludes -dir and -replicate-addr)")
 		maxConns     = flag.Int("max-conns", 256, "connection limit")
 		maxBatch     = flag.Int("max-batch", 64, "max pipelined requests coalesced into one transaction")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client response deadline")
@@ -67,6 +88,18 @@ func main() {
 	flag.Parse()
 	if *addr == "" && *unixPath == "" {
 		log.Fatal("skiphashd: nothing to listen on (-addr and -unix both empty)")
+	}
+	if *follow != "" && (*dir != "" || *replAddr != "") {
+		log.Fatal("skiphashd: -follow excludes -dir and -replicate-addr (a replica is neither durable nor a stream source)")
+	}
+	if *replAddr != "" && *dir == "" {
+		log.Fatal("skiphashd: -replicate-addr requires -dir (the stream is the WAL tap)")
+	}
+	if *replAddr != "" && *isolated {
+		log.Fatal("skiphashd: -replicate-addr excludes -isolated (replication needs one commit-stamp domain)")
+	}
+	if *follow != "" && *isolated {
+		log.Fatal("skiphashd: -follow excludes -isolated (applied stamps span one clock)")
 	}
 
 	cfg := skiphash.Config{
@@ -88,9 +121,68 @@ func main() {
 		}
 		cfg.Durability = &skiphash.Durability{Dir: *dir, Fsync: policy, FsyncEvery: *fsyncEvery}
 	}
-	m, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
-	if err != nil {
-		log.Fatalf("skiphashd: open: %v", err)
+	var (
+		m    *skiphash.Sharded[int64, int64]
+		be   server.Backend
+		rep  *repl.Replica
+		prim *repl.Primary
+	)
+	if *follow != "" {
+		// Replica mode: the map is fed by the replication stream, not by
+		// clients — serve its read-only backend at the applied watermark.
+		rep = repl.NewReplica(repl.ReplicaConfig{Addr: *follow, Map: cfg, Logf: log.Printf})
+		m = rep.Map()
+		be = rep.Backend()
+		go func() {
+			if err := rep.WaitReady(context.Background()); err == nil {
+				log.Printf("skiphashd: replica caught up with %s at watermark %d", *follow, rep.Watermark())
+			}
+		}()
+	} else {
+		var err error
+		m, err = skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+		if err != nil {
+			log.Fatalf("skiphashd: open: %v", err)
+		}
+		be = server.NewShardedBackend(m)
+		if *replAddr != "" {
+			clockRead := m.Runtime().Clock().Read
+			pcfg := repl.PrimaryConfig{
+				Snapshot: func(chunkSize int, emit func(stamp uint64, pairs []wire.KV) error) error {
+					kvs := make([]wire.KV, 0, chunkSize)
+					return m.SnapshotChunks(chunkSize, func(stamp uint64, pairs []skiphash.Pair[int64, int64]) error {
+						kvs = kvs[:0]
+						for _, p := range pairs {
+							kvs = append(kvs, wire.KV{Key: p.Key, Val: p.Val})
+						}
+						return emit(stamp, kvs)
+					})
+				},
+				ClockRead: clockRead,
+			}
+			if !*quiet {
+				pcfg.Logf = log.Printf
+			}
+			prim = repl.NewPrimary(pcfg)
+			tp, ok := m.Persister().(walTapper)
+			if !ok {
+				log.Fatalf("skiphashd: persister %T has no WAL tap", m.Persister())
+			}
+			tp.TapWAL(prim.Append)
+			rln, err := net.Listen("tcp", *replAddr)
+			if err != nil {
+				log.Fatalf("skiphashd: replication listen %s: %v", *replAddr, err)
+			}
+			log.Printf("skiphashd: replicating WAL on tcp://%s (epoch %d)", rln.Addr(), prim.Epoch())
+			go func() {
+				if err := prim.Serve(rln); err != nil {
+					log.Printf("skiphashd: replication serve: %v", err)
+				}
+			}()
+			// Serving clients see a Watermark op so barriered replica
+			// reads have a primary-side stamp source.
+			be = repl.PrimaryBackend(be, clockRead)
+		}
 	}
 
 	srvCfg := server.Config{
@@ -102,7 +194,7 @@ func main() {
 	if !*quiet {
 		srvCfg.Logf = log.Printf
 	}
-	srv := server.New(server.NewShardedBackend(m), srvCfg)
+	srv := server.New(be, srvCfg)
 
 	if *pprofAddr != "" {
 		if !loopbackAddr(*pprofAddr) {
@@ -128,6 +220,13 @@ func main() {
 		close(statsDone)
 	}
 
+	role := "standalone"
+	switch {
+	case rep != nil:
+		role = "replica of " + *follow
+	case prim != nil:
+		role = "replicating primary"
+	}
 	var wg sync.WaitGroup
 	serveErrs := make(chan error, 2)
 	listen := func(network, laddr string) {
@@ -135,8 +234,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("skiphashd: listen %s %s: %v", network, laddr, err)
 		}
-		log.Printf("skiphashd: serving %d shards on %s://%s (durability: %s)",
-			m.NumShards(), network, ln.Addr(), durabilityDesc(*dir, *fsync))
+		log.Printf("skiphashd: serving %d shards on %s://%s (durability: %s, role: %s)",
+			m.NumShards(), network, ln.Addr(), durabilityDesc(*dir, *fsync), role)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -174,19 +273,28 @@ func main() {
 	if *unixPath != "" {
 		os.Remove(*unixPath)
 	}
-	exit := 0
-	if *dir != "" {
-		if err := m.Sync(); err != nil {
-			log.Printf("skiphashd: final sync: %v", err)
-			exit = 1
-		}
+	if prim != nil {
+		prim.Shutdown()
 	}
-	m.Close()
-	if *dir != "" {
-		if p := m.Persister(); p != nil {
-			if err := p.Err(); err != nil {
-				log.Printf("skiphashd: durability engine: %v", err)
+	exit := 0
+	if rep != nil {
+		// The replica map is repl-owned: Close stops the stream and the
+		// map together, and there is no durability engine to settle.
+		rep.Close()
+	} else {
+		if *dir != "" {
+			if err := m.Sync(); err != nil {
+				log.Printf("skiphashd: final sync: %v", err)
 				exit = 1
+			}
+		}
+		m.Close()
+		if *dir != "" {
+			if p := m.Persister(); p != nil {
+				if err := p.Err(); err != nil {
+					log.Printf("skiphashd: durability engine: %v", err)
+					exit = 1
+				}
 			}
 		}
 	}

@@ -34,7 +34,7 @@ type shadowCell struct {
 	ok bool
 }
 
-func runCrash(cycles, threads int, universe int64, seed uint64, dir string) {
+func runCrash(cycles, threads int, universe int64, seed uint64, dir, reproducer string) {
 	if cycles < 1 {
 		cycles = 1
 	}
@@ -64,8 +64,6 @@ func runCrash(cycles, threads int, universe int64, seed uint64, dir string) {
 			os.Exit(2)
 		}
 	}
-	reproducer := fmt.Sprintf("go run ./cmd/skipstress -crash -cycles %d -threads %d -universe %d -seed %d",
-		cycles, threads, universe, seed)
 	fmt.Printf("skipstress: -crash, %d cycles, %d threads, universe %d, seed %d, dir %s\n",
 		cycles, threads, universe, seed, dir)
 

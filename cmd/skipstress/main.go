@@ -34,14 +34,27 @@
 // operations, no shorter than the last explicit Sync). Any divergence
 // exits 1 with a reproducer line.
 //
+// With -replica it runs the replicated serving stress: a durable
+// primary streaming its WAL (internal/repl) to two live in-process
+// replicas, with the -check workload driven through a protocol client
+// whose lookups alternate primary reads and watermark-barriered
+// replica reads (GetAt). Halfway through, the primary is killed and a
+// caught-up replica is promoted over the wire; the workload then
+// continues against the promoted node only — post-promotion stamps are
+// floored above everything applied, but stamps are only comparable
+// within one primary lineage, so the other replica is dropped. Every
+// round's client-observed history must linearize across the failover.
+//
 // All randomness derives from -seed, so any reported failure can be
-// replayed by re-running with the printed flags.
+// replayed by re-running with the printed flags. The reproducer line
+// is rebuilt from the flag set itself (explicitly-set flags plus the
+// pinned workload determinants), not from a hand-maintained format.
 //
 // Usage:
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
-//	           [-net] [-readheavy]
+//	           [-net] [-replica] [-readheavy]
 //
 // -readheavy skews the -check/-net workload to 80% point lookups, the
 // mix that keeps the optimistic read fast path hot while concurrent
@@ -55,6 +68,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +77,30 @@ import (
 	"repro/internal/maptest"
 	"repro/skiphash"
 )
+
+// reproducerLine rebuilds the command line that replays this run from
+// the flag set itself: every flag the user set explicitly (flag.Visit)
+// plus the always-pinned workload determinants — seed, threads,
+// duration, universe, and cycles under -crash — whose defaults
+// (GOMAXPROCS, for one) vary by machine. Deriving the line from the
+// registered flags keeps it honest as flags are added; the old
+// hand-maintained format strings silently dropped newcomers.
+func reproducerLine() string {
+	pinned := map[string]bool{"seed": true, "threads": true, "duration": true, "universe": true}
+	if f := flag.Lookup("crash"); f != nil && f.Value.String() == "true" {
+		pinned["cycles"] = true
+	}
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var b strings.Builder
+	b.WriteString("go run ./cmd/skipstress")
+	flag.VisitAll(func(f *flag.Flag) {
+		if set[f.Name] || pinned[f.Name] {
+			fmt.Fprintf(&b, " -%s=%v", f.Name, f.Value)
+		}
+	})
+	return b.String()
+}
 
 // stressMap is the common face of the unsharded and sharded skip hash
 // that the stress loop needs.
@@ -108,6 +146,7 @@ func main() {
 		churn     = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
 		crash     = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
 		netCheck  = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
+		replica   = flag.Bool("replica", false, "replicated serving stress: barriered replica reads, then kill the primary and promote")
 		cycles    = flag.Int("cycles", 60, "kill/recover cycles for -crash")
 		dir       = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
 		readHeavy = flag.Bool("readheavy", false, "80% point-lookup mix for -check/-net (drives the read fast path)")
@@ -115,17 +154,18 @@ func main() {
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*check, *churn, *crash, *netCheck} {
+	for _, on := range []bool{*check, *churn, *crash, *netCheck, *replica} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn, -crash and -net are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn, -crash, -net and -replica are mutually exclusive")
 		os.Exit(2)
 	}
+	reproducer := reproducerLine()
 	if *crash {
-		runCrash(*cycles, *threads, *universe, *seed, *dir)
+		runCrash(*cycles, *threads, *universe, *seed, *dir, reproducer)
 		return
 	}
 	lookupPct := 0
@@ -133,11 +173,11 @@ func main() {
 		lookupPct = 80
 	}
 	if *netCheck {
-		reproducer := fmt.Sprintf("go run ./cmd/skipstress -net -seed %d -threads %d -duration %v -shards %d%s%s",
-			*seed, *threads, *duration, *shards,
-			map[bool]string{true: " -isolated"}[*isolated],
-			map[bool]string{true: " -readheavy"}[*readHeavy])
 		runNet(*threads, *duration, *seed, *shards, *isolated, lookupPct, reproducer)
+		return
+	}
+	if *replica {
+		runReplica(*threads, *duration, *seed, lookupPct, reproducer)
 		return
 	}
 	cfg := skiphash.Config{}
@@ -177,13 +217,6 @@ func main() {
 		newHandle = func() stressHandle { return um.NewHandle() }
 		checkable = checkAdapter{um}
 	}
-
-	reproducer := fmt.Sprintf("go run ./cmd/skipstress -seed %d -threads %d -duration %v -universe %d -mode %s -rangelen %d -shards %d%s%s%s%s",
-		*seed, *threads, *duration, *universe, *mode, *rangeLen, *shards,
-		map[bool]string{true: " -isolated"}[*isolated],
-		map[bool]string{true: " -check"}[*check],
-		map[bool]string{true: " -churn"}[*churn],
-		map[bool]string{true: " -readheavy"}[*readHeavy])
 
 	if *check {
 		runCheck(checkable, m, *threads, *duration, *seed, *isolated, lookupPct, variant, reproducer)

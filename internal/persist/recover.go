@@ -180,47 +180,24 @@ func replay[K comparable, V any](recs []walRecord, kc Codec[K], vc Codec[V], sta
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].stamp < recs[j].stamp })
 	for ri := range recs {
 		rec := &recs[ri]
-		body := rec.ops
-		for i := uint64(0); i < rec.count; i++ {
-			if len(body) < 1 {
-				return fmt.Errorf("%w: record %d: truncated op list", ErrCorrupt, ri)
-			}
-			kind := body[0]
-			body = body[1:]
-			k, n, err := kc.Read(body)
-			if err != nil {
-				return fmt.Errorf("%w: record %d: key decode: %v", ErrCorrupt, ri, err)
-			}
-			body = body[n:]
-			var v V
-			if kind == opPut {
-				v, n, err = vc.Read(body)
-				if err != nil {
-					return fmt.Errorf("%w: record %d: value decode: %v", ErrCorrupt, ri, err)
-				}
-				body = body[n:]
-			} else if kind != opDel {
-				return fmt.Errorf("%w: record %d: unknown op kind %d", ErrCorrupt, ri, kind)
-			}
+		apply := func(k K, put bool, v V) {
 			e := state[k]
 			if e == nil {
 				e = &snapEntry[V]{}
 				state[k] = e
 			} else if rec.stamp < e.stamp {
-				continue // already reflected in this key's snapshot chunk
+				return // already reflected in this key's snapshot chunk
 			}
 			e.stamp = rec.stamp
-			if kind == opPut {
-				e.val = v
-				e.present = true
-			} else {
-				var zero V
-				e.val = zero
-				e.present = false
-			}
+			e.val = v
+			e.present = put
 		}
-		if len(body) != 0 {
-			return fmt.Errorf("%w: record %d: %d trailing bytes", ErrCorrupt, ri, len(body))
+		var zero V
+		err := DecodeOps(rec.ops, rec.count, kc, vc,
+			func(k K, v V) error { apply(k, true, v); return nil },
+			func(k K) error { apply(k, false, zero); return nil })
+		if err != nil {
+			return fmt.Errorf("record %d: %w", ri, err)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -228,7 +229,7 @@ func (s *Store[K, V]) snapshotter() {
 			}
 		}
 		if s.opts.SnapshotBytes >= 0 || s.opts.SnapshotEvery > 0 {
-			if err := s.Snapshot(); err != nil && err != ErrClosed {
+			if err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
 				s.mu.Lock()
 				s.lastSnapErr = err
 				s.mu.Unlock()
@@ -311,8 +312,24 @@ func (s *Store[K, V]) Snapshot() error {
 }
 
 // Sync forces every logged operation to durable storage now, regardless
-// of the fsync policy.
+// of the fsync policy. A Sync that loses a race with Close or
+// SimulateCrash returns ErrSyncRaced (which matches ErrClosed) and is
+// counted in StoreStats.LateSyncs, never acknowledged as durable.
 func (s *Store[K, V]) Sync() error { return s.w.sync() }
+
+// TapWAL installs fn (nil removes it) as the WAL tap: every record the
+// engine accepts is observed as (stamp, count, ops), serialized in
+// append order — which for conflicting transactions is commit order.
+// This is the replication feed. fn runs at the STM publish point with
+// the committing transaction's orecs held, so it must not block and
+// must copy ops before returning. Install the tap before serving
+// traffic; records appended earlier are only reachable through
+// snapshot chunks.
+func (s *Store[K, V]) TapWAL(fn func(stamp uint64, count int, ops []byte)) {
+	s.w.mu.Lock()
+	s.w.tap = fn
+	s.w.mu.Unlock()
+}
 
 // Err returns the sticky background error, if any. Permanent, in
 // precedence order: a WAL I/O failure, then unlogged commits (ops that
@@ -393,6 +410,9 @@ type StoreStats struct {
 	Snapshots       uint64
 	SnapshotEntries uint64
 	SegmentsDeleted uint64
+	// LateSyncs counts Sync calls that lost a race with Close or
+	// SimulateCrash and were answered with ErrSyncRaced.
+	LateSyncs uint64
 }
 
 // Stats returns the engine counters.
@@ -414,5 +434,6 @@ func (s *Store[K, V]) Stats() StoreStats {
 		Snapshots:       s.snapshots,
 		SnapshotEntries: s.snapsEntries,
 		SegmentsDeleted: ws.segsGone,
+		LateSyncs:       ws.lateSyncs,
 	}
 }

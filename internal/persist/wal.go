@@ -91,6 +91,16 @@ func (o Options) withDefaults() Options {
 // (or has simulated a crash).
 var ErrClosed = errors.New("persist: store is closed")
 
+// ErrSyncRaced is returned by Store.Sync (and the WAL sync inside
+// Store.Snapshot) when the sync lost a race with Close or SimulateCrash:
+// the engine shut down between the call and its fsync, so the caller
+// must not treat the call as an acknowledgment of anything appended
+// since the shutdown began. It wraps ErrClosed, so existing
+// errors.Is(err, ErrClosed) checks keep matching. Each occurrence is
+// counted (StoreStats.LateSyncs) alongside the unlogged-commit
+// bookkeeping.
+var ErrSyncRaced = fmt.Errorf("persist: sync raced shutdown: %w", ErrClosed)
+
 // flushHighWater is the buffered-bytes threshold beyond which an append
 // kicks the flusher regardless of policy, bounding user-space buffering.
 const flushHighWater = 1 << 20
@@ -139,16 +149,24 @@ type wal struct {
 	// grown Options.SnapshotBytes past the last snapshot.
 	snapKick func()
 
+	// tap, when set, observes every record appendRecord accepts —
+	// (stamp, count, ops) — under w.mu, i.e. serialized in append order
+	// with commit order (the replication feed). The callback must copy
+	// ops before returning and must not block: it runs at the STM
+	// publish point while the committing transaction holds its orecs.
+	tap func(stamp uint64, count int, ops []byte)
+
 	stats walStats
 }
 
 type walStats struct {
-	records  uint64
-	bytes    int64
-	sinceSnp int64
-	flushes  uint64
-	syncs    uint64
-	segsGone uint64
+	records   uint64
+	bytes     int64
+	sinceSnp  int64
+	flushes   uint64
+	syncs     uint64
+	segsGone  uint64
+	lateSyncs uint64
 }
 
 type segment struct {
@@ -228,6 +246,9 @@ func (w *wal) appendRecord(stamp uint64, count int, ops []byte) (lsn int64, err 
 	w.stats.records++
 	w.stats.bytes += frameLen
 	w.stats.sinceSnp += frameLen
+	if w.tap != nil {
+		w.tap(stamp, count, ops)
+	}
 	kick := w.opts.Fsync == FsyncAlways || len(w.buf) >= flushHighWater
 	snap := w.snapKick != nil && w.opts.SnapshotBytes >= 0 && w.stats.sinceSnp >= w.opts.SnapshotBytes
 	w.mu.Unlock()
@@ -466,18 +487,23 @@ func (w *wal) resetSnapshotDebt() {
 
 // sync forces buffered records to disk with an fsync, regardless of
 // policy. Safe to call concurrently with appends. A nil return means
-// every record appended before the call is on stable storage — a crash
-// (or SimulateCrash) racing the flush is reported as ErrClosed rather
-// than falsely acknowledged.
+// every record appended before the call is on stable storage — a sync
+// that loses a race with Close or SimulateCrash is reported as
+// ErrSyncRaced (and counted) rather than falsely acknowledged or
+// silently mapped to a low-level file error. The post-flush re-check
+// matters: a Close that completes between the entry check and the
+// flush leaves flush a no-op with syncedLSN already at target, which
+// used to read as a successful sync of a closed engine.
 func (w *wal) sync() error {
 	w.mu.Lock()
 	if w.crashed || w.closing || w.closed {
 		err := w.err
+		w.stats.lateSyncs++
 		w.mu.Unlock()
 		if err != nil {
 			return err
 		}
-		return ErrClosed
+		return ErrSyncRaced
 	}
 	target := w.appendLSN
 	w.mu.Unlock()
@@ -486,6 +512,10 @@ func (w *wal) sync() error {
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
+	}
+	if w.crashed || w.closing || w.closed {
+		w.stats.lateSyncs++
+		return ErrSyncRaced
 	}
 	if w.syncedLSN < target {
 		return ErrClosed

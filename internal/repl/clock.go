@@ -1,0 +1,74 @@
+// Package repl streams a primary skip hash's write-ahead log to live
+// replicas: recovery made remote. The primary taps its WAL at the STM
+// publish point (append order = commit order for conflicting
+// transactions) and feeds each follower a snapshot-plus-log-tail
+// stream over the internal/wire replication channel; the replica
+// applies the records through the same per-key chunk-stamp replay rule
+// crash recovery uses, and serves read-only traffic at an advertised
+// commit-stamp watermark.
+//
+// # Consistency contract
+//
+// Commit stamps are comparable only within one primary lineage — one
+// clock instance on one primary incarnation and the replicas applying
+// its stream. Within a lineage the watermark supports a read barrier:
+// a replica whose watermark strictly exceeds X has applied every
+// commit with stamp <= X (clients obtain X from the primary's
+// Watermark after their writes, see skiphash/client.GetAt). Across
+// lineages — after a promotion — the only safe watermark comparison is
+// against the promoted node itself.
+package repl
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// liftClock wraps a replica's commit clock so every stamp it mints
+// stays strictly above the replication watermark. The floor rises as
+// records apply; after a promotion the first local commits therefore
+// mint stamps above everything the dead primary ever streamed here,
+// extending the log's total order instead of rewinding it — exactly
+// what stm.FloorClock does for crash recovery, but with a floor that
+// moves while the map is live.
+type liftClock struct {
+	inner stm.Clock
+	floor atomic.Uint64
+}
+
+func newLiftClock(inner stm.Clock) *liftClock { return &liftClock{inner: inner} }
+
+// Raise lifts the floor to at least s (monotone; safe concurrently).
+func (c *liftClock) Raise(s uint64) {
+	for {
+		cur := c.floor.Load()
+		if s <= cur || c.floor.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+func (c *liftClock) lift(v uint64) uint64 {
+	if f := c.floor.Load(); v <= f {
+		return f + 1
+	}
+	return v
+}
+
+// Read implements stm.Clock.
+func (c *liftClock) Read() uint64 { return c.lift(c.inner.Read()) }
+
+// Next implements stm.Clock.
+func (c *liftClock) Next() uint64 { return c.lift(c.inner.Next()) }
+
+// OnAbort implements stm.Clock.
+func (c *liftClock) OnAbort() { c.inner.OnAbort() }
+
+// Strict reports true: lifting can map distinct inner stamps onto
+// floor+1, so readers must reject equal versions like the monotonic
+// clock's tie rule.
+func (c *liftClock) Strict() bool { return true }
+
+// Name implements stm.Clock.
+func (c *liftClock) Name() string { return "lift(" + c.inner.Name() + ")" }

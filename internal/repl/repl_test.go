@@ -1,0 +1,272 @@
+package repl
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/skiphash"
+)
+
+// tapper is the persistence engine's WAL tap surface.
+type tapper interface {
+	TapWAL(func(stamp uint64, count int, ops []byte))
+}
+
+// primaryHarness is one durable primary map with its WAL streamed.
+type primaryHarness struct {
+	m  *skiphash.Sharded[int64, int64]
+	p  *Primary
+	ln net.Listener
+}
+
+func (h *primaryHarness) addr() string { return h.ln.Addr().String() }
+
+func (h *primaryHarness) close() {
+	h.p.Shutdown()
+	h.m.Close()
+}
+
+// startPrimary opens a durable sharded map over dir and streams its
+// WAL on addr ("127.0.0.1:0" for a fresh port).
+func startPrimary(t *testing.T, dir, addr string, cfg PrimaryConfig) *primaryHarness {
+	t.Helper()
+	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{
+		Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncNone},
+	}, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("OpenInt64Sharded: %v", err)
+	}
+	cfg.Snapshot = func(chunkSize int, emit func(stamp uint64, pairs []wire.KV) error) error {
+		kvs := make([]wire.KV, 0, chunkSize)
+		return m.SnapshotChunks(chunkSize, func(stamp uint64, pairs []skiphash.Pair[int64, int64]) error {
+			kvs = kvs[:0]
+			for _, p := range pairs {
+				kvs = append(kvs, wire.KV{Key: p.Key, Val: p.Val})
+			}
+			return emit(stamp, kvs)
+		})
+	}
+	clock := m.Runtime().Clock()
+	cfg.ClockRead = clock.Read
+	cfg.Logf = t.Logf
+	p := NewPrimary(cfg)
+	tp, ok := m.Persister().(tapper)
+	if !ok {
+		t.Fatalf("persister %T has no TapWAL", m.Persister())
+	}
+	tp.TapWAL(p.Append)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go p.Serve(ln)
+	return &primaryHarness{m: m, p: p, ln: ln}
+}
+
+func startReplica(t *testing.T, addr string) *Replica {
+	t.Helper()
+	r := NewReplica(ReplicaConfig{Addr: addr, RedialEvery: 20 * time.Millisecond, Logf: t.Logf})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return r
+}
+
+func allPairs(m *skiphash.Sharded[int64, int64]) []skiphash.Pair[int64, int64] {
+	return m.Range(math.MinInt64, math.MaxInt64, nil)
+}
+
+// waitConverge polls until the replica's full range equals the
+// primary map's. Quiescent primary only.
+func waitConverge(t *testing.T, pm *skiphash.Sharded[int64, int64], r *Replica) {
+	t.Helper()
+	want := allPairs(pm)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := allPairs(r.Map())
+		if len(got) == len(want) {
+			same := true
+			for i := range want {
+				if got[i] != want[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica did not converge: %d pairs vs %d", len(got), len(want))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReplicaCatchUpFromEmptyAndLiveTail(t *testing.T) {
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{})
+	defer h.close()
+	for i := int64(0); i < 500; i++ {
+		h.m.Put(i, i*10)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+	if r.Watermark() == 0 {
+		t.Fatal("caught-up replica has zero watermark")
+	}
+	// Live tail: new writes, overwrites and deletes stream through.
+	w0 := r.Watermark()
+	for i := int64(400); i < 700; i++ {
+		h.m.Put(i, i*11)
+	}
+	for i := int64(0); i < 100; i++ {
+		h.m.Remove(i)
+	}
+	waitConverge(t, h.m, r)
+	if r.Watermark() < w0 {
+		t.Fatalf("watermark regressed: %d -> %d", w0, r.Watermark())
+	}
+}
+
+func TestReplicaTailReconnect(t *testing.T) {
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{})
+	defer h.close()
+	for i := int64(0); i < 200; i++ {
+		h.m.Put(i, i)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+	// Cut every follower; writes continue while the replica is dark.
+	h.p.DropFollowers()
+	for i := int64(200); i < 400; i++ {
+		h.m.Put(i, i)
+	}
+	waitConverge(t, h.m, r)
+}
+
+func TestReplicaResyncAfterRingEviction(t *testing.T) {
+	// A ring too small to hold the backlog forces the reconnecting
+	// follower through the snapshot path (Full header) instead of a
+	// tail replay; convergence must survive that.
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{RingBytes: 256})
+	defer h.close()
+	for i := int64(0); i < 100; i++ {
+		h.m.Put(i, i)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+	h.p.DropFollowers()
+	for i := int64(0); i < 500; i++ {
+		h.m.Put(i, i*3)
+	}
+	waitConverge(t, h.m, r)
+}
+
+func TestEpochChangeForcesFullResync(t *testing.T) {
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{})
+	for i := int64(0); i < 100; i++ {
+		h.m.Put(i, i)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+	addr := h.addr()
+	h.close()
+	// A different incarnation on the same address with disjoint state:
+	// the epoch mismatch must force a wholesale resync, dropping every
+	// key only the dead primary had.
+	h2 := startPrimary(t, t.TempDir(), addr, PrimaryConfig{})
+	defer h2.close()
+	for i := int64(1000); i < 1100; i++ {
+		h2.m.Put(i, i)
+	}
+	waitConverge(t, h2.m, r)
+	if _, ok := r.Map().Lookup(5); ok {
+		t.Fatal("stale key survived a full resync")
+	}
+}
+
+func TestRestartedPrimaryForcesResyncAcrossRecovery(t *testing.T) {
+	dir := t.TempDir()
+	h := startPrimary(t, dir, "127.0.0.1:0", PrimaryConfig{})
+	for i := int64(0); i < 300; i++ {
+		h.m.Put(i, i)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+	addr := h.addr()
+	h.close()
+	// Same durability directory reopened: recovery rebuilds the state,
+	// the new epoch forces the replica through snapshot+tail, and the
+	// states agree again.
+	h2 := startPrimary(t, dir, addr, PrimaryConfig{})
+	defer h2.close()
+	for i := int64(300); i < 350; i++ {
+		h2.m.Put(i, i)
+	}
+	waitConverge(t, h2.m, r)
+}
+
+func TestPromoteLiftsClockAndOpensWrites(t *testing.T) {
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{})
+	defer h.close()
+	for i := int64(0); i < 50; i++ {
+		h.m.Put(i, i)
+	}
+	r := startReplica(t, h.addr())
+	defer r.Close()
+	waitConverge(t, h.m, r)
+
+	be := r.Backend()
+	if err := be.Atomic(func(op server.Batch) error { op.Insert(999, 1); return nil }); err != server.ErrReadOnly {
+		t.Fatalf("write before promotion = %v, want ErrReadOnly", err)
+	}
+	if err := be.Sync(); err != server.ErrReadOnly {
+		t.Fatalf("Sync before promotion = %v, want ErrReadOnly", err)
+	}
+	w := r.Watermark()
+	if got := be.(server.Watermarker).Watermark(); got != w {
+		t.Fatalf("backend watermark %d != replica watermark %d", got, w)
+	}
+	if err := be.(server.Promoter).Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	// The lifted clock floors new stamps above everything applied.
+	if next := r.lift.Next(); next <= w {
+		t.Fatalf("post-promotion stamp %d not above watermark %d", next, w)
+	}
+	if err := be.Atomic(func(op server.Batch) error { op.Insert(999, 1); return nil }); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if v, ok := r.Map().Lookup(999); !ok || v != 1 {
+		t.Fatalf("promoted write not visible: %d %v", v, ok)
+	}
+}
+
+func TestPrimaryBackendWatermark(t *testing.T) {
+	h := startPrimary(t, t.TempDir(), "127.0.0.1:0", PrimaryConfig{})
+	defer h.close()
+	clock := h.m.Runtime().Clock()
+	be := PrimaryBackend(server.NewShardedBackend(h.m), clock.Read)
+	h.m.Put(1, 1)
+	w1 := be.(server.Watermarker).Watermark()
+	h.m.Put(2, 2)
+	w2 := be.(server.Watermarker).Watermark()
+	if w1 == 0 || w2 < w1 {
+		t.Fatalf("primary watermark not monotone: %d then %d", w1, w2)
+	}
+	if _, ok := be.(server.Promoter); ok {
+		t.Fatal("primary backend must not be promotable")
+	}
+}

@@ -64,6 +64,25 @@ import (
 // Pair is the map's key/value pair type.
 type Pair = skiphash.Pair[int64, int64]
 
+// ErrReadOnly is returned by a backend refusing writes — a replica that
+// has not been promoted. The server answers with StatusReadOnly.
+var ErrReadOnly = errors.New("server: backend is read-only (unpromoted replica)")
+
+// Watermarker is an optional Backend extension: a backend that can
+// report its commit-stamp watermark (the stamp below which every commit
+// is visible to reads). Replica backends report their applied stamp;
+// primary backends a fresh clock read. Without it, OpWatermark answers
+// StatusErr.
+type Watermarker interface {
+	Watermark() uint64
+}
+
+// Promoter is an optional Backend extension: a replica backend that can
+// be made writable. Without it, OpPromote answers StatusErr.
+type Promoter interface {
+	Promote() error
+}
+
 // Batch is the transactional view a Backend hands the executor inside
 // Atomic; both skiphash.Txn and skiphash.ShardedTxn satisfy it.
 type Batch interface {
@@ -615,7 +634,7 @@ func (c *conn) execAtomic(group []wire.Request) {
 }
 
 // execStandalone executes a non-coalescable request (Range, Sync,
-// Snapshot, Ping) and encodes its response.
+// Snapshot, Ping, Watermark, Promote) and encodes its response.
 func (c *conn) execStandalone(req *wire.Request) {
 	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
 	switch req.Op {
@@ -642,6 +661,20 @@ func (c *conn) execStandalone(req *wire.Request) {
 	case wire.OpSnapshot:
 		if err := c.srv.be.Snapshot(); err != nil {
 			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpWatermark:
+		if w, ok := c.srv.be.(Watermarker); ok {
+			resp.Val = int64(w.Watermark())
+		} else {
+			resp.Status, resp.Msg = wire.StatusErr, "backend has no watermark"
+		}
+	case wire.OpPromote:
+		if p, ok := c.srv.be.(Promoter); ok {
+			if err := p.Promote(); err != nil {
+				resp.Status, resp.Msg = statusFor(err)
+			}
+		} else {
+			resp.Status, resp.Msg = wire.StatusErr, "backend is not promotable"
 		}
 	case wire.OpPing:
 		// empty response
@@ -674,6 +707,8 @@ func statusFor(err error) (wire.Status, string) {
 		return wire.StatusNotDurable, err.Error()
 	case errors.Is(err, skiphash.ErrCorrupt):
 		return wire.StatusCorrupt, err.Error()
+	case errors.Is(err, ErrReadOnly):
+		return wire.StatusReadOnly, err.Error()
 	default:
 		return wire.StatusErr, err.Error()
 	}

@@ -1,0 +1,107 @@
+package thashmap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// The abort-ABA window: a transaction that aborts restores both the
+// chain images (undo log) and the bucket orec's pre-acquire word, so
+// after an abort the orec word is bit-identical to what a concurrent
+// fast walk sampled. That restore is what keeps aborts invisible to
+// optimistic readers — but it is only sound because a later COMMIT on
+// the same orec always releases at a fresh clock stamp, never reusing
+// a version a reader may have sampled before the abort. These tests
+// pin both halves deterministically with the fast-walk hook.
+
+// errInjected aborts the hook's first transaction after its writes.
+var errInjected = errors.New("injected abort")
+
+// abortWrite runs one transaction against key k that removes it and
+// then aborts, exercising undo of both the splice and the orec word.
+func abortWrite(t *testing.T, rt *stm.Runtime, m *PtrMap[int64, payload], k int64) {
+	t.Helper()
+	if err := rt.Atomic(func(tx *stm.Tx) error {
+		if !m.RemoveTx(tx, k) {
+			t.Errorf("RemoveTx(%d) found nothing to remove", k)
+		}
+		return errInjected
+	}); !errors.Is(err, errInjected) {
+		t.Fatalf("aborting txn returned %v, want errInjected", err)
+	}
+}
+
+func TestGetPtrFastAbortRestoresSampledWord(t *testing.T) {
+	rt, m := newPtrMap(1)
+	a := &payload{v: 1}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		return nil
+	})
+
+	// The hook fires between the walk and revalidation: the abort-only
+	// interleaving must leave the sample valid — the undo restored the
+	// chain to exactly what the walk saw, so failing the read here
+	// would be pure pessimism (and would make every abort a fast-path
+	// invalidation storm).
+	fired := 0
+	SetFastWalkHook(func() {
+		fired++
+		abortWrite(t, rt, m, 1)
+	})
+	defer SetFastWalkHook(nil)
+
+	if v, ok := m.GetPtrFast(1); !ok || v != a {
+		t.Errorf("fast read across an abort = (%p, %v), want validated (%p, true)", v, ok, a)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+func TestGetPtrFastCommitAfterAbortInvalidates(t *testing.T) {
+	rt, m := newPtrMap(1)
+	a := &payload{v: 1}
+	b := &payload{v: 2}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		m.InsertPtrTx(tx, 1, a)
+		return nil
+	})
+
+	// The regression half: abort restores the sampled word, then a
+	// commit on the same bucket replaces the chain. If the commit's
+	// release word could ever collide with the restored (sampled) word
+	// — say, a version counter reset by the abort — the walk's stale
+	// observation would validate. The commit must release at a fresh
+	// clock stamp, so the sample fails.
+	fired := 0
+	SetFastWalkHook(func() {
+		fired++
+		abortWrite(t, rt, m, 1)
+		if err := rt.Atomic(func(tx *stm.Tx) error {
+			if !m.RemoveTx(tx, 1) {
+				t.Error("committing txn found key 1 missing (abort undo lost the entry)")
+			}
+			m.InsertPtrTx(tx, 1, b)
+			return nil
+		}); err != nil {
+			t.Errorf("committing txn: %v", err)
+		}
+	})
+	defer SetFastWalkHook(nil)
+
+	if _, ok := m.GetPtrFast(1); ok {
+		t.Error("fast read validated across abort-then-commit: commit reused a sampled orec word")
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+
+	SetFastWalkHook(nil)
+	// The post-commit state is the committed one, not the aborted one.
+	if v, ok := m.GetPtrFast(1); !ok || v != b {
+		t.Errorf("fast read after the dust settled = (%p, %v), want (%p, true)", v, ok, b)
+	}
+}

@@ -1,0 +1,107 @@
+package wire
+
+// The replication channel: the primary→replica stream reuses this
+// package's frame transport but speaks ReplMsg payloads instead of the
+// request/response codec. One TCP connection per follower carries, in
+// order:
+//
+//	replica → primary   Follow {Epoch, Seq}         resume request
+//	primary → replica   Follow {Epoch, Seq, Full}   stream header
+//	primary → replica   SnapChunk {Stamp, Pairs}    full sync only
+//	primary → replica   WalRecord {Seq, Stamp, Count, Ops}
+//	primary → replica   CaughtUp {Stamp}            end of catch-up
+//	primary → replica   Heartbeat {Stamp}           idle watermark
+//
+// The replica's Follow names the last (Epoch, Seq) it has applied;
+// Seq 0 means "nothing". The primary answers with its own header: when
+// the epochs match and the requested tail is still in the ring it
+// replays from Seq+1 (Full=false); otherwise Full=true and the stream
+// restarts from a snapshot, after which the replica must discard its
+// state. Epochs are unique per primary incarnation, so a primary that
+// crashed with a torn WAL tail and recovered never tail-feeds a
+// replica that might have applied records the repair discarded.
+
+// ReplMsg is one replication-channel message. Fields are meaningful
+// per-op as documented above; unused fields are zero.
+type ReplMsg struct {
+	Op    Op
+	Epoch uint64
+	Seq   uint64
+	Stamp uint64
+	Count uint64
+	Full  bool
+	Ops   []byte
+	Pairs []KV
+}
+
+// MaxReplPairs bounds one SnapChunk's pair count, mirroring
+// MaxRangePairs' framing arithmetic.
+const MaxReplPairs = (MaxResponsePayload - 64) / 16
+
+// AppendReplMsg appends m as one complete frame to dst.
+func AppendReplMsg(dst []byte, m *ReplMsg) []byte {
+	dst, hdr := beginFrame(dst)
+	dst = append(dst, byte(m.Op))
+	switch m.Op {
+	case OpFollow:
+		dst = appendU64(dst, m.Epoch)
+		dst = appendU64(dst, m.Seq)
+		dst = appendBool(dst, m.Full)
+	case OpSnapChunk:
+		dst = appendU64(dst, m.Stamp)
+		dst = appendU32(dst, uint32(len(m.Pairs)))
+		for _, p := range m.Pairs {
+			dst = appendI64(dst, p.Key)
+			dst = appendI64(dst, p.Val)
+		}
+	case OpWalRecord:
+		dst = appendU64(dst, m.Seq)
+		dst = appendU64(dst, m.Stamp)
+		dst = appendU64(dst, m.Count)
+		dst = appendU32(dst, uint32(len(m.Ops)))
+		dst = append(dst, m.Ops...)
+	case OpCaughtUp, OpHeartbeat:
+		dst = appendU64(dst, m.Stamp)
+	}
+	return finishFrame(dst, hdr)
+}
+
+// ParseReplMsg decodes one replication payload. Ops and Pairs are
+// copied out of the frame buffer, so the buffer may be reused
+// immediately.
+func ParseReplMsg(payload []byte) (ReplMsg, error) {
+	d := decoder{buf: payload}
+	var m ReplMsg
+	m.Op = Op(d.u8("op"))
+	switch m.Op {
+	case OpFollow:
+		m.Epoch = d.u64("epoch")
+		m.Seq = d.u64("seq")
+		m.Full = d.u8("full") != 0
+	case OpSnapChunk:
+		m.Stamp = d.u64("stamp")
+		n := d.u32("pair count")
+		if int64(n)*16 > int64(len(payload)) {
+			return m, protoErrf("snap chunk pair count %d exceeds payload", n)
+		}
+		if d.err == nil {
+			m.Pairs = make([]KV, 0, n)
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			k := d.i64("pair key")
+			v := d.i64("pair val")
+			m.Pairs = append(m.Pairs, KV{Key: k, Val: v})
+		}
+	case OpWalRecord:
+		m.Seq = d.u64("seq")
+		m.Stamp = d.u64("stamp")
+		m.Count = d.u64("count")
+		n := d.u32("ops length")
+		m.Ops = append([]byte(nil), d.bytes(int(n), "ops")...)
+	case OpCaughtUp, OpHeartbeat:
+		m.Stamp = d.u64("stamp")
+	default:
+		return m, protoErrf("unknown replication op %d", uint8(m.Op))
+	}
+	return m, d.finish()
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func roundTripReplMsg(t *testing.T, m ReplMsg) ReplMsg {
+	t.Helper()
+	frame := AppendReplMsg(nil, &m)
+	fr := NewFrameReader(bytes.NewReader(frame), MaxResponsePayload)
+	payload, err := fr.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	got, err := ParseReplMsg(payload)
+	if err != nil {
+		t.Fatalf("ParseReplMsg: %v", err)
+	}
+	return got
+}
+
+func TestReplMsgRoundTrip(t *testing.T) {
+	msgs := []ReplMsg{
+		{Op: OpFollow, Epoch: 7, Seq: 42},
+		{Op: OpFollow, Epoch: 8, Seq: 0, Full: true},
+		{Op: OpSnapChunk, Stamp: 100, Pairs: []KV{{Key: 1, Val: 10}, {Key: -2, Val: 20}}},
+		{Op: OpSnapChunk, Stamp: 0, Pairs: nil},
+		{Op: OpWalRecord, Seq: 3, Stamp: 101, Count: 2, Ops: []byte{1, 2, 3, 4}},
+		{Op: OpWalRecord, Seq: 4, Stamp: 102, Count: 0, Ops: nil},
+		{Op: OpCaughtUp, Stamp: 103},
+		{Op: OpHeartbeat, Stamp: 104},
+	}
+	for _, m := range msgs {
+		got := roundTripReplMsg(t, m)
+		if got.Op != m.Op || got.Epoch != m.Epoch || got.Seq != m.Seq ||
+			got.Stamp != m.Stamp || got.Count != m.Count || got.Full != m.Full ||
+			!bytes.Equal(got.Ops, m.Ops) || len(got.Pairs) != len(m.Pairs) {
+			t.Fatalf("%s: round trip %+v -> %+v", m.Op, m, got)
+		}
+		for i := range m.Pairs {
+			if got.Pairs[i] != m.Pairs[i] {
+				t.Fatalf("%s: pair %d %+v -> %+v", m.Op, i, m.Pairs[i], got.Pairs[i])
+			}
+		}
+	}
+}
+
+func TestReplMsgCopiesOps(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	frame := AppendReplMsg(nil, &ReplMsg{Op: OpWalRecord, Seq: 1, Stamp: 1, Count: 1, Ops: src})
+	payload := bytes.Clone(frame[frameHeaderLen:])
+	m, err := ParseReplMsg(payload)
+	if err != nil {
+		t.Fatalf("ParseReplMsg: %v", err)
+	}
+	for i := range payload {
+		payload[i] = 0xFF
+	}
+	if !bytes.Equal(m.Ops, src) {
+		t.Fatalf("Ops alias the frame buffer: %v", m.Ops)
+	}
+}
+
+func TestReplMsgRejectsGarbage(t *testing.T) {
+	if _, err := ParseReplMsg([]byte{0xEE}); err == nil {
+		t.Fatal("unknown replication op not rejected")
+	}
+	frame := AppendReplMsg(nil, &ReplMsg{Op: OpCaughtUp, Stamp: 9})
+	payload := bytes.Clone(frame[frameHeaderLen:])
+	if _, err := ParseReplMsg(payload[:len(payload)-2]); err == nil {
+		t.Fatal("truncated payload not rejected")
+	}
+	if _, err := ParseReplMsg(append(payload, 0xAB)); err == nil {
+		t.Fatal("trailing bytes not rejected")
+	}
+	// A pair count that cannot fit the payload must be rejected before
+	// allocation.
+	var chunk []byte
+	chunk = append(chunk, byte(OpSnapChunk))
+	chunk = appendU64(chunk, 1)
+	chunk = appendU32(chunk, 1<<30)
+	if _, err := ParseReplMsg(chunk); err == nil {
+		t.Fatal("oversized snap chunk pair count not rejected")
+	}
+}
+
+func TestWatermarkPromoteRoundTrip(t *testing.T) {
+	got := roundTripRequest(t, Request{ID: 1, Op: OpWatermark})
+	if got.Op != OpWatermark {
+		t.Fatalf("watermark request round trip: %+v", got)
+	}
+	got = roundTripRequest(t, Request{ID: 2, Op: OpPromote})
+	if got.Op != OpPromote {
+		t.Fatalf("promote request round trip: %+v", got)
+	}
+	resp := roundTripResponse(t, Response{ID: 1, Op: OpWatermark, Val: 1 << 40})
+	if resp.Val != 1<<40 {
+		t.Fatalf("watermark response Val = %d", resp.Val)
+	}
+	resp = roundTripResponse(t, Response{ID: 2, Op: OpPromote})
+	if resp.Op != OpPromote || resp.Status != StatusOK {
+		t.Fatalf("promote response round trip: %+v", resp)
+	}
+	resp = roundTripResponse(t, Response{ID: 3, Op: OpPut, Status: StatusReadOnly, Msg: "replica"})
+	if resp.Status != StatusReadOnly || resp.Msg != "replica" {
+		t.Fatalf("read-only response round trip: %+v", resp)
+	}
+}

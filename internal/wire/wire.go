@@ -39,6 +39,20 @@
 //	Sync                    -> force WAL fsync (durable servers)
 //	Snapshot                -> write a durable snapshot now
 //	Ping                    -> empty (liveness, RTT probes)
+//	Watermark               -> current commit-stamp watermark (Val);
+//	                           on a replica the applied stamp, on a
+//	                           primary a fresh clock read
+//	Promote                 -> make a replica writable (no-op body)
+//
+// # Replication channel
+//
+// Ops 10–14 (Follow, SnapChunk, WalRecord, CaughtUp, Heartbeat) belong
+// to the primary→replica replication channel, which reuses this
+// package's framing but speaks ReplMsg payloads (see repl.go), not the
+// request/response codec — they never appear in ParseRequest or
+// ParseResponse traffic. Watermark and Promote are ordinary serving
+// ops so clients and operators can reach them over a normal
+// connection.
 //
 // Batch is the wire face of the map's Atomic: its steps (insert,
 // remove, lookup) execute as one transaction, so observers see all of
@@ -74,6 +88,15 @@ const (
 	OpSync
 	OpSnapshot
 	OpPing
+	// Replication-channel ops (ReplMsg payloads; never request/response).
+	OpFollow
+	OpSnapChunk
+	OpWalRecord
+	OpCaughtUp
+	OpHeartbeat
+	// Serving ops added with replication.
+	OpWatermark
+	OpPromote
 )
 
 // String names the op for diagnostics.
@@ -97,6 +120,20 @@ func (o Op) String() string {
 		return "Snapshot"
 	case OpPing:
 		return "Ping"
+	case OpFollow:
+		return "Follow"
+	case OpSnapChunk:
+		return "SnapChunk"
+	case OpWalRecord:
+		return "WalRecord"
+	case OpCaughtUp:
+		return "CaughtUp"
+	case OpHeartbeat:
+		return "Heartbeat"
+	case OpWatermark:
+		return "Watermark"
+	case OpPromote:
+		return "Promote"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -128,6 +165,10 @@ const (
 	StatusShuttingDown
 	// StatusErr is any other server-side failure; the message tells.
 	StatusErr
+	// StatusReadOnly reports a write (or Sync/Snapshot) sent to a
+	// replica that has not been promoted; the client maps it to its
+	// ErrReadOnly.
+	StatusReadOnly
 )
 
 // String names the status for diagnostics.
@@ -147,6 +188,8 @@ func (s Status) String() string {
 		return "ShuttingDown"
 	case StatusErr:
 		return "Err"
+	case StatusReadOnly:
+		return "ReadOnly"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -308,7 +351,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 				dst = appendI64(dst, s.Val)
 			}
 		}
-	case OpSync, OpSnapshot, OpPing:
+	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
 		// no body
 	}
 	return finishFrame(dst, hdr)
@@ -343,7 +386,10 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			dst = appendBool(dst, s.Ok)
 			dst = appendI64(dst, s.Out)
 		}
-	case OpSync, OpSnapshot, OpPing:
+	case OpWatermark:
+		// The watermark stamp travels in Val.
+		dst = appendI64(dst, resp.Val)
+	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
 	}
 	return finishFrame(dst, hdr)
@@ -454,7 +500,7 @@ func ParseRequest(payload []byte) (Request, error) {
 			}
 			req.Steps = append(req.Steps, s)
 		}
-	case OpSync, OpSnapshot, OpPing:
+	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
 		// no body
 	default:
 		return req, protoErrf("unknown op %d", uint8(req.Op))
@@ -470,7 +516,7 @@ func ParseResponse(payload []byte) (Response, error) {
 	resp.ID = d.u64("id")
 	resp.Op = Op(d.u8("op"))
 	resp.Status = Status(d.u8("status"))
-	if resp.Status > StatusErr {
+	if resp.Status > StatusReadOnly {
 		return resp, protoErrf("unknown status %d", uint8(resp.Status))
 	}
 	if resp.Status != StatusOK {
@@ -510,7 +556,9 @@ func ParseResponse(payload []byte) (Response, error) {
 			out := d.i64("result out")
 			resp.Steps = append(resp.Steps, StepResult{Ok: ok, Out: out})
 		}
-	case OpSync, OpSnapshot, OpPing:
+	case OpWatermark:
+		resp.Val = d.i64("watermark")
+	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
 	default:
 		return resp, protoErrf("unknown op %d", uint8(resp.Op))

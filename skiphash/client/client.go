@@ -65,6 +65,12 @@ var (
 	// ErrConnClosed fails calls whose connection died before their
 	// response arrived.
 	ErrConnClosed = errors.New("client: connection closed")
+	// ErrReadOnly mirrors server.ErrReadOnly: a write (or Sync/
+	// Snapshot) reached a replica that has not been promoted.
+	ErrReadOnly = errors.New("client: server is a read-only replica")
+	// errStale marks a replica whose watermark has not reached a GetAt
+	// read barrier; GetAt falls through to the next replica on it.
+	errStale = errors.New("client: replica watermark below read barrier")
 )
 
 // Options tunes Dial.
@@ -75,6 +81,11 @@ type Options struct {
 	DialTimeout time.Duration
 	// WriteTimeout bounds each flush. Default 10s; negative disables.
 	WriteTimeout time.Duration
+	// Replicas lists replica server addresses (same address syntax as
+	// Dial) for read fan-out: GetAt round-robins watermark-barriered
+	// reads over them, falling back to the primary pool. One connection
+	// per address.
+	Replicas []string
 }
 
 func (o Options) withDefaults() Options {
@@ -93,24 +104,35 @@ func (o Options) withDefaults() Options {
 // Client is a pool of protocol connections. All methods are safe for
 // concurrent use.
 type Client struct {
-	conns []*Conn
-	next  atomic.Uint64
+	conns    []*Conn
+	replicas []*Conn
+	next     atomic.Uint64
+	rnext    atomic.Uint64
 }
 
-// Dial connects a pool to addr. The network is inferred: an address
+// splitNetwork infers the network from the address syntax: an address
 // containing a path separator (or prefixed "unix:") is a unix socket,
-// anything else TCP; Dial2 pins it explicitly.
-func Dial(addr string, opts Options) (*Client, error) {
-	network := "tcp"
+// anything else TCP.
+func splitNetwork(addr string) (network, bare string) {
 	if strings.HasPrefix(addr, "unix:") {
-		network, addr = "unix", strings.TrimPrefix(addr, "unix:")
-	} else if strings.ContainsAny(addr, "/\\") {
-		network = "unix"
+		return "unix", strings.TrimPrefix(addr, "unix:")
 	}
+	if strings.ContainsAny(addr, "/\\") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Dial connects a pool to addr. The network is inferred (see
+// splitNetwork); Dial2 pins it explicitly.
+func Dial(addr string, opts Options) (*Client, error) {
+	network, addr := splitNetwork(addr)
 	return Dial2(network, addr, opts)
 }
 
 // Dial2 connects a pool over an explicit network ("tcp", "unix").
+// Replica connections (Options.Replicas) infer their network per
+// address.
 func Dial2(network, addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	c := &Client{conns: make([]*Conn, 0, opts.Conns)}
@@ -122,11 +144,23 @@ func Dial2(network, addr string, opts Options) (*Client, error) {
 		}
 		c.conns = append(c.conns, cn)
 	}
+	for _, raddr := range opts.Replicas {
+		rn, ra := splitNetwork(raddr)
+		cn, err := dialConn(rn, ra, opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.replicas = append(c.replicas, cn)
+	}
 	return c, nil
 }
 
 // NumConns reports the pool size.
 func (c *Client) NumConns() int { return len(c.conns) }
+
+// NumReplicas reports the replica connection count.
+func (c *Client) NumReplicas() int { return len(c.replicas) }
 
 // Conn returns pool member i, for callers managing pipelining
 // explicitly (one goroutine per connection).
@@ -141,7 +175,7 @@ func (c *Client) pick() *Conn {
 // ErrConnClosed.
 func (c *Client) Close() error {
 	var first error
-	for _, cn := range c.conns {
+	for _, cn := range append(append([]*Conn(nil), c.conns...), c.replicas...) {
 		if cn == nil {
 			continue
 		}
@@ -154,6 +188,36 @@ func (c *Client) Close() error {
 
 // Get returns the value stored under k.
 func (c *Client) Get(k int64) (v int64, ok bool, err error) { return c.pick().Get(k) }
+
+// GetAt reads k with a commit-stamp barrier: the read is served by a
+// replica only if that replica's watermark strictly exceeds minStamp —
+// meaning every primary commit with stamp <= minStamp is applied there
+// — and otherwise falls through the remaining replicas to the primary.
+// Callers obtain minStamp from Watermark on the same lineage (the
+// primary answers a fresh clock read, which bounds every commit it has
+// acknowledged). With no replicas configured it is Get.
+func (c *Client) GetAt(k int64, minStamp uint64) (v int64, ok bool, err error) {
+	if n := uint64(len(c.replicas)); n > 0 {
+		start := c.rnext.Add(1)
+		for i := uint64(0); i < n; i++ {
+			cn := c.replicas[(start+i)%n]
+			v, ok, err := cn.getAt(k, minStamp)
+			if err == nil {
+				return v, ok, nil
+			}
+		}
+	}
+	return c.pick().Get(k)
+}
+
+// Watermark reports the primary's commit-stamp watermark — an upper
+// bound covering every write this client has seen complete — for use
+// as a GetAt barrier.
+func (c *Client) Watermark() (uint64, error) { return c.pick().Watermark() }
+
+// Promote asks the server to make its replica map writable. Against a
+// primary (or a non-promotable backend) it fails.
+func (c *Client) Promote() error { return c.pick().Promote() }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (c *Client) Insert(k, v int64) (bool, error) { return c.pick().Insert(k, v) }
@@ -199,6 +263,7 @@ type Conn struct {
 	err     error // sticky transport error
 	wt      time.Duration
 
+	closeOnce  sync.Once // guards nc.Close: exactly one teardown
 	readerDone chan struct{}
 }
 
@@ -272,7 +337,9 @@ func (cn *Conn) readLoop() {
 }
 
 // fail marks the connection dead and fails every pending call,
-// returning the sticky error (the first failure wins).
+// returning the sticky error (the first failure wins). Teardown is
+// idempotent: however many times the reader, a writer and Close race
+// into here, the socket closes once and the first cause survives.
 func (cn *Conn) fail(err error) error {
 	cn.mu.Lock()
 	if cn.err == nil {
@@ -282,7 +349,7 @@ func (cn *Conn) fail(err error) error {
 	calls := cn.pending
 	cn.pending = make(map[uint64]*Call)
 	cn.mu.Unlock()
-	cn.nc.Close()
+	cn.closeOnce.Do(func() { cn.nc.Close() })
 	for _, call := range calls {
 		call.err = sticky
 		close(call.done)
@@ -357,11 +424,18 @@ func (cn *Conn) Do(req *wire.Request) (wire.Response, error) {
 }
 
 // Close tears the connection down; in-flight calls fail with
-// ErrConnClosed.
+// ErrConnClosed. A clean close (this Close was the first failure, on
+// either call of a double Close) returns nil; a connection that had
+// already died returns the original transport failure instead of
+// swallowing it, wrapped in ErrConnClosed by the path that recorded
+// it.
 func (cn *Conn) Close() error {
-	cn.fail(ErrConnClosed)
+	err := cn.fail(ErrConnClosed)
 	<-cn.readerDone
-	return nil
+	if err == ErrConnClosed { // the bare sentinel: closed by Close, not by a failure
+		return nil
+	}
+	return err
 }
 
 // Get returns the value stored under k.
@@ -425,6 +499,50 @@ func (cn *Conn) Ping() error {
 	return err
 }
 
+// Watermark reports the server's commit-stamp watermark.
+func (cn *Conn) Watermark() (uint64, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpWatermark})
+	return uint64(resp.Val), err
+}
+
+// Promote asks the server to make its replica map writable.
+func (cn *Conn) Promote() error {
+	_, err := cn.Do(&wire.Request{Op: wire.OpPromote})
+	return err
+}
+
+// getAt pipelines Watermark+Get in one flush on this (replica)
+// connection. The server executes a connection's requests in order, so
+// when the watermark response strictly exceeds minStamp, every commit
+// at or below minStamp was applied before the Get executed and the
+// read is valid under the barrier; otherwise errStale sends the caller
+// to the next replica.
+func (cn *Conn) getAt(k int64, minStamp uint64) (int64, bool, error) {
+	wcall, err := cn.Start(&wire.Request{Op: wire.OpWatermark})
+	if err != nil {
+		return 0, false, err
+	}
+	gcall, err := cn.Start(&wire.Request{Op: wire.OpGet, Key: k})
+	if err != nil {
+		return 0, false, err
+	}
+	if err := cn.Flush(); err != nil {
+		return 0, false, err
+	}
+	wresp, werr := wcall.Wait()
+	gresp, gerr := gcall.Wait()
+	if werr != nil {
+		return 0, false, werr
+	}
+	if uint64(wresp.Val) <= minStamp {
+		return 0, false, errStale
+	}
+	if gerr != nil {
+		return 0, false, gerr
+	}
+	return gresp.Val, gresp.Ok, nil
+}
+
 // statusError maps a response status onto the typed errors.
 func statusError(resp *wire.Response) error {
 	switch resp.Status {
@@ -440,6 +558,8 @@ func statusError(resp *wire.Response) error {
 		return ErrServerBusy
 	case wire.StatusShuttingDown:
 		return ErrShuttingDown
+	case wire.StatusReadOnly:
+		return ErrReadOnly
 	default:
 		return fmt.Errorf("client: server error: %s", resp.Msg)
 	}

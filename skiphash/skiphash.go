@@ -125,6 +125,16 @@
 // holds whether the Atomic that crossed isolated shards ran in-process
 // or on the far side of a socket.
 //
+// A durable daemon can additionally replicate: internal/repl streams
+// the commit-stamp-ordered WAL to live replicas that apply records
+// through the recovery replay rules and serve read-only traffic at an
+// advertised watermark (skiphashd -replicate-addr / -follow;
+// client.GetAt fans barriered reads out across replicas, and Promote
+// turns a replica into a writable successor whose clock is floored
+// above everything it applied). Commit stamps are comparable only
+// within one primary lineage — see internal/repl for the consistency
+// contract.
+//
 // # Handle lifecycle and maintenance
 //
 // Removals defer their physical unstitching through per-handle buffers
