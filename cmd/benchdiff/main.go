@@ -5,7 +5,7 @@
 //
 // Rows are matched on their full identity (experiment, workload, map,
 // threads, shards, range length, window, fsync policy, transport,
-// pipeline depth) and only compared when the two reports' recording
+// pipeline depth, key width, namespace count) and only compared when the two reports' recording
 // environments agree on GOOS/GOARCH/GOMAXPROCS/NumCPU — committed
 // baselines come from whatever machine recorded them, and a throughput
 // comparison across different hardware is noise, not signal. A pair
@@ -71,6 +71,7 @@ func key(r bench.Row) string {
 		r.Experiment, r.Workload, r.Map,
 		fmt.Sprint(r.Threads), fmt.Sprint(r.Shards), fmt.Sprint(r.RangeLen),
 		fmt.Sprint(r.Universe), window, r.Fsync, r.Transport, fmt.Sprint(r.Pipeline),
+		fmt.Sprint(r.KeyBytes), fmt.Sprint(r.Namespaces),
 	}, "|")
 }
 

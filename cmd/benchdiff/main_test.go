@@ -54,6 +54,39 @@ func TestCompareMatchesOnFullKey(t *testing.T) {
 	}
 }
 
+func TestKeyWidthAndNamespacesSeparateRows(t *testing.T) {
+	// An int64 row and a byte-key row that agree on every other identity
+	// column must never cross-compare: the byte-key series is a different
+	// workload family, and comparing them would read the byte-key cost as
+	// a regression of the int64 fast path (or mask a real one).
+	base := report{Rows: []bench.Row{
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "tcp", Pipeline: 64, Mops: 10},
+	}}
+	cur := report{Rows: []bench.Row{
+		{Experiment: "net", Map: "served", Threads: 8, Transport: "tcp", Pipeline: 64,
+			KeyBytes: 16, Namespaces: 1, Mops: 2},
+	}}
+	deltas, unmatchedCur, unmatchedBase := compare(base, cur)
+	if len(deltas) != 0 {
+		t.Fatalf("int64 baseline compared against byte-key row: %+v", deltas)
+	}
+	if unmatchedCur != 1 || unmatchedBase != 1 {
+		t.Fatalf("unmatched = %d/%d, want 1/1 (distinct identities)", unmatchedCur, unmatchedBase)
+	}
+	// And both dimensions separate independently.
+	a := bench.Row{Experiment: "net", Map: "served", KeyBytes: 16, Namespaces: 1}
+	b := a
+	b.Namespaces = 3
+	if key(a) == key(b) {
+		t.Fatal("namespace count not part of the row identity")
+	}
+	b = a
+	b.KeyBytes = 0
+	if key(a) == key(b) {
+		t.Fatal("key width not part of the row identity")
+	}
+}
+
 func TestCompareSplitMetrics(t *testing.T) {
 	base := report{Rows: []bench.Row{
 		{Experiment: "fig6", Map: "skiphash-two-path", RangeLen: 100, UpdateMops: 2, RangeMpairs: 30},

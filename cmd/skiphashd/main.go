@@ -17,6 +17,18 @@
 // net/http/pprof on a loopback address for live CPU/heap profiling of
 // the drain loop.
 //
+// Namespaces: one daemon hosts many named byte-string maps alongside
+// the default int64 map. -ns name, -ns name=dir, and -ns name=dir:fsync
+// (repeatable) open namespaces at boot — in-memory, durable at an
+// explicit directory, or durable with its own fsync policy. -ns-root
+// names the directory for namespaces created at runtime via the wire's
+// NsCreate and re-discovers every ns-<name> subdirectory on start
+// (their recorded fsync policies are restored). -ns-max-conns and
+// -ns-max-batch set per-namespace quotas: a connection over a
+// namespace's limit has its requests for that namespace answered
+// StatusBusy, and coalesced namespace transactions are clamped.
+// Namespaces are not replicated; -follow excludes them.
+//
 // Replication: with -replicate-addr a durable (-dir, non-isolated)
 // server additionally streams its WAL to followers on that address.
 // With -follow the daemon runs as a live replica instead: it syncs
@@ -33,6 +45,8 @@
 //	skiphashd [-addr host:port] [-unix path]
 //	          [-shards n] [-isolated] [-maintenance]
 //	          [-dir path] [-fsync none|interval|always] [-fsync-every d]
+//	          [-ns name[=dir[:fsync]]]... [-ns-root path]
+//	          [-ns-max-conns n] [-ns-max-batch n]
 //	          [-replicate-addr host:port | -follow host:port]
 //	          [-max-conns n] [-max-batch n] [-write-timeout d] [-idle-timeout d]
 //	          [-drain-timeout d] [-stats-every d] [-pprof host:port] [-quiet]
@@ -74,6 +88,9 @@ func main() {
 		dir          = flag.String("dir", "", "durability directory (empty = in-memory only)")
 		fsync        = flag.String("fsync", "interval", "WAL fsync policy: none, interval, always")
 		fsyncEvery   = flag.Duration("fsync-every", 0, "interval policy's fsync period (0 = engine default)")
+		nsRoot       = flag.String("ns-root", "", "directory for runtime-created durable namespaces; ns-* subdirectories are reopened on start")
+		nsMaxConns   = flag.Int("ns-max-conns", 0, "per-namespace connection quota (0 = unlimited)")
+		nsMaxBatch   = flag.Int("ns-max-batch", 0, "per-namespace coalescing clamp (0 = -max-batch)")
 		replAddr     = flag.String("replicate-addr", "", "stream the WAL to followers on this TCP address (requires -dir, excludes -isolated)")
 		follow       = flag.String("follow", "", "run as a live replica of this primary replication address (excludes -dir and -replicate-addr)")
 		maxConns     = flag.Int("max-conns", 256, "connection limit")
@@ -85,12 +102,17 @@ func main() {
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (empty disables)")
 		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	)
+	var nsSpecs nsFlags
+	flag.Var(&nsSpecs, "ns", "open a namespace at boot: name, name=dir, or name=dir:fsync (repeatable)")
 	flag.Parse()
 	if *addr == "" && *unixPath == "" {
 		log.Fatal("skiphashd: nothing to listen on (-addr and -unix both empty)")
 	}
 	if *follow != "" && (*dir != "" || *replAddr != "") {
 		log.Fatal("skiphashd: -follow excludes -dir and -replicate-addr (a replica is neither durable nor a stream source)")
+	}
+	if *follow != "" && (len(nsSpecs) > 0 || *nsRoot != "") {
+		log.Fatal("skiphashd: -follow excludes -ns and -ns-root (namespaces are not replicated)")
 	}
 	if *replAddr != "" && *dir == "" {
 		log.Fatal("skiphashd: -replicate-addr requires -dir (the stream is the WAL tap)")
@@ -108,18 +130,7 @@ func main() {
 		Maintenance:    *maintenance,
 	}
 	if *dir != "" {
-		var policy skiphash.FsyncPolicy
-		switch *fsync {
-		case "none":
-			policy = skiphash.FsyncNone
-		case "interval":
-			policy = skiphash.FsyncInterval
-		case "always":
-			policy = skiphash.FsyncAlways
-		default:
-			log.Fatalf("skiphashd: unknown -fsync policy %q", *fsync)
-		}
-		cfg.Durability = &skiphash.Durability{Dir: *dir, Fsync: policy, FsyncEvery: *fsyncEvery}
+		cfg.Durability = &skiphash.Durability{Dir: *dir, Fsync: cfgFsyncPolicy(*fsync), FsyncEvery: *fsyncEvery}
 	}
 	var (
 		m    *skiphash.Sharded[int64, int64]
@@ -194,7 +205,36 @@ func main() {
 	if !*quiet {
 		srvCfg.Logf = log.Printf
 	}
-	srv := server.New(be, srvCfg)
+	var reg *server.Registry
+	if rep == nil {
+		var err error
+		reg, err = server.NewRegistry(server.RegistryConfig{
+			Root:       *nsRoot,
+			Map:        skiphash.Config{Shards: *shards, IsolatedShards: *isolated, Maintenance: *maintenance},
+			Durability: skiphash.Durability{Fsync: cfgFsyncPolicy(*fsync), FsyncEvery: *fsyncEvery},
+			MaxConns:   *nsMaxConns,
+			MaxBatch:   *nsMaxBatch,
+		})
+		if err != nil {
+			log.Fatalf("skiphashd: namespace registry: %v", err)
+		}
+		for _, spec := range nsSpecs {
+			var err error
+			if spec.dir != "" {
+				_, err = reg.CreateAt(spec.name, spec.dir, spec.fsync)
+			} else {
+				_, err = reg.Create(spec.name, false, spec.fsync)
+			}
+			if err != nil {
+				log.Fatalf("skiphashd: -ns %s: %v", spec.name, err)
+			}
+		}
+		if n := len(reg.List()); n > 0 {
+			log.Printf("skiphashd: serving %d namespace(s) besides the default map", n)
+		}
+	}
+	srv := server.NewWithRegistry(be, reg, srvCfg)
+	srv.SetDefaultDurable(*dir != "")
 
 	if *pprofAddr != "" {
 		if !loopbackAddr(*pprofAddr) {
@@ -300,6 +340,73 @@ func main() {
 	}
 	log.Printf("skiphashd: bye")
 	os.Exit(exit)
+}
+
+// cfgFsyncPolicy maps the -fsync flag onto the engine's policy,
+// exiting on an unknown name.
+func cfgFsyncPolicy(fsync string) skiphash.FsyncPolicy {
+	switch fsync {
+	case "none":
+		return skiphash.FsyncNone
+	case "interval":
+		return skiphash.FsyncInterval
+	case "always":
+		return skiphash.FsyncAlways
+	default:
+		log.Fatalf("skiphashd: unknown -fsync policy %q", fsync)
+		return 0
+	}
+}
+
+// nsSpec is one -ns flag: a namespace to open at boot.
+type nsSpec struct {
+	name  string
+	dir   string // "" = in-memory
+	fsync uint8  // wire.NsFsync* selector
+}
+
+// nsFlags collects repeated -ns flags: name, name=dir, or
+// name=dir:fsync with fsync one of default, none, interval, always.
+type nsFlags []nsSpec
+
+func (f *nsFlags) String() string {
+	parts := make([]string, 0, len(*f))
+	for _, s := range *f {
+		parts = append(parts, s.name)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *nsFlags) Set(v string) error {
+	spec := nsSpec{fsync: wire.NsFsyncDefault}
+	name, rest, hasDir := strings.Cut(v, "=")
+	spec.name = name
+	if name == "" {
+		return fmt.Errorf("-ns %q: empty namespace name", v)
+	}
+	if hasDir {
+		dir, pol, hasPol := strings.Cut(rest, ":")
+		if dir == "" {
+			return fmt.Errorf("-ns %q: empty directory (omit '=' for an in-memory namespace)", v)
+		}
+		spec.dir = dir
+		if hasPol {
+			switch pol {
+			case "default":
+				spec.fsync = wire.NsFsyncDefault
+			case "none":
+				spec.fsync = wire.NsFsyncNone
+			case "interval":
+				spec.fsync = wire.NsFsyncInterval
+			case "always":
+				spec.fsync = wire.NsFsyncAlways
+			default:
+				return fmt.Errorf("-ns %q: unknown fsync policy %q", v, pol)
+			}
+		}
+	}
+	*f = append(*f, spec)
+	return nil
 }
 
 func durabilityDesc(dir, fsync string) string {

@@ -22,7 +22,11 @@
 // and drives the -check workload through real protocol clients
 // (skiphash/client), verifying the client-observed histories — wire
 // codec, pipelined request coalescing and all — against the sequential
-// model, then audits the served map's invariants.
+// model, then audits the served map's invariants. Adding -namespaces n
+// makes the same server host n byte-string namespaces, each driven
+// concurrently by its own seeded workload through the v2 ops (int64
+// keys crossing the wire as 8-byte big-endian strings) and checked
+// against its own sequential model.
 //
 // With -crash it runs the durability stress: -cycles kill/recover
 // rounds against one durability directory, alternating (a) concurrent
@@ -54,7 +58,7 @@
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
-//	           [-net] [-replica] [-readheavy]
+//	           [-net] [-namespaces n] [-replica] [-readheavy]
 //
 // -readheavy skews the -check/-net workload to 80% point lookups, the
 // mix that keeps the optimistic read fast path hot while concurrent
@@ -89,6 +93,11 @@ func reproducerLine() string {
 	pinned := map[string]bool{"seed": true, "threads": true, "duration": true, "universe": true}
 	if f := flag.Lookup("crash"); f != nil && f.Value.String() == "true" {
 		pinned["cycles"] = true
+	}
+	if f := flag.Lookup("net"); f != nil && f.Value.String() == "true" {
+		// The namespace count determines the multi-tenant workload split,
+		// so -net reproducer lines carry it even at its default.
+		pinned["namespaces"] = true
 	}
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -146,6 +155,7 @@ func main() {
 		churn     = flag.Bool("churn", false, "handle-lifecycle churn with periodic garbage audits")
 		crash     = flag.Bool("crash", false, "durability kill/recover cycles audited against a shadow model")
 		netCheck  = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
+		nsCount   = flag.Int("namespaces", 0, "with -net: drive this many byte-string namespaces concurrently through the checker")
 		replica   = flag.Bool("replica", false, "replicated serving stress: barriered replica reads, then kill the primary and promote")
 		cycles    = flag.Int("cycles", 60, "kill/recover cycles for -crash")
 		dir       = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
@@ -172,8 +182,16 @@ func main() {
 	if *readHeavy {
 		lookupPct = 80
 	}
+	if *nsCount > 0 && !*netCheck {
+		fmt.Fprintln(os.Stderr, "skipstress: -namespaces requires -net")
+		os.Exit(2)
+	}
 	if *netCheck {
-		runNet(*threads, *duration, *seed, *shards, *isolated, lookupPct, reproducer)
+		if *nsCount > 0 {
+			runNetNamespaces(*threads, *duration, *seed, *shards, *isolated, *nsCount, lookupPct, reproducer)
+		} else {
+			runNet(*threads, *duration, *seed, *shards, *isolated, lookupPct, reproducer)
+		}
 		return
 	}
 	if *replica {

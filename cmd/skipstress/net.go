@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/linearize"
@@ -117,6 +119,257 @@ func runNet(threads int, duration time.Duration, seed uint64,
 	m.Close()
 	fmt.Printf("rounds=%d ops=%d unknown=%d\n", rounds, totalOps, unknowns)
 	fmt.Println("skipstress: PASS")
+}
+
+// runNetNamespaces is the multi-tenant serving stress: one server hosts
+// nsCount byte-string namespaces (plus the default int64 map), and each
+// namespace is driven concurrently with its own seeded -check workload
+// through the wire's v2 ops. Workload keys and values are int64s
+// encoded as 8-byte big-endian strings — order-preserving for
+// non-negative keys, so each namespace's client-observed history checks
+// against the same sequential ordered-map model. The namespaces share
+// the server's executor, connections, and coalescing, so the checker
+// also audits that runs never bleed across namespace boundaries.
+func runNetNamespaces(threads int, duration time.Duration, seed uint64,
+	shards int, isolated bool, nsCount, lookupPct int, reproducer string) {
+	const checkUniverse = 64
+	mapCfg := skiphash.Config{Maintenance: true, IsolatedShards: isolated}
+	if shards > 0 {
+		mapCfg.Shards = shards
+	}
+	m := skiphash.NewInt64Sharded[int64](mapCfg)
+	reg, err := server.NewRegistry(server.RegistryConfig{Map: mapCfg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipstress: registry: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.NewWithRegistry(server.NewShardedBackend(m), reg, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipstress: listen: %v\n", err)
+		os.Exit(1)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	cl, err := client.Dial(ln.Addr().String(), client.Options{Conns: threads})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipstress: dial: %v\n", err)
+		os.Exit(1)
+	}
+	adapters := make([]nsAdapter, nsCount)
+	for i := range adapters {
+		ns, err := cl.CreateNamespace(fmt.Sprintf("stress-%d", i), client.NamespaceOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipstress: create namespace %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		adapters[i] = nsAdapter{ns: ns}
+	}
+	variant := fmt.Sprintf("%d namespaces, %d shards each, over tcp", nsCount, m.NumShards())
+	if isolated {
+		variant += " (isolated)"
+	}
+	fmt.Printf("skipstress: -net -namespaces, %d client conns, %v, universe %d, seed %d, lookup%%=%d, %s\n",
+		threads, duration, checkUniverse, seed, lookupPct, variant)
+
+	// Per-namespace worker budget: every namespace gets at least two
+	// concurrent clients so its own history has real contention.
+	perNS := threads / nsCount
+	if perNS < 2 {
+		perNS = 2
+	}
+	deadline := time.Now().Add(duration)
+	rounds, totalOps, unknowns := 0, 0, 0
+	snapshots := make([][]linearize.KV, nsCount)
+	for time.Now().Before(deadline) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		failed := false
+		for i := range adapters {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				roundSeed := seed + uint64(rounds)*1_000_003 + uint64(i)*7_654_321
+				opts := maptest.WorkloadOptions{
+					Clients:      perNS,
+					OpsPerClient: 192,
+					Universe:     checkUniverse,
+					Seed:         roundSeed,
+					// Same caveat as runNet: isolated shards merge per-shard
+					// range snapshots taken at distinct instants.
+					Ranges:    !isolated,
+					Batches:   true,
+					LookupPct: lookupPct,
+				}
+				h := maptest.RecordHistory(adapters[i], opts)
+				res := linearize.CheckOpts(h, linearize.Options{Initial: snapshots[i]})
+				mu.Lock()
+				defer mu.Unlock()
+				totalOps += len(h)
+				if res.Unknown {
+					unknowns++
+				} else if !res.Ok {
+					fmt.Fprintf(os.Stderr, "FAIL: non-linearizable history in namespace %s round %d (round seed %d), partition keys %v:\n%s",
+						adapters[i].ns.Name(), rounds, roundSeed, res.PartitionKeys, linearize.FormatOps(res.Ops))
+					failed = true
+				}
+				snapshots[i] = adapters[i].snapshot(checkUniverse)
+			}(i)
+		}
+		wg.Wait()
+		if failed {
+			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+			os.Exit(1)
+		}
+		rounds++
+	}
+
+	// Tenant isolation spot check: each namespace's final state must be
+	// exactly its own snapshot, and dropping one namespace must not
+	// disturb the others.
+	if err := cl.DropNamespace(adapters[0].ns.Name()); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: drop: %v\n", err)
+		os.Exit(1)
+	}
+	if _, _, err := adapters[0].ns.Get(be64(1)); !errors.Is(err, client.ErrNamespaceNotFound) {
+		fmt.Fprintf(os.Stderr, "FAIL: dropped namespace still answering (err %v)\n", err)
+		os.Exit(1)
+	}
+	for i := 1; i < nsCount; i++ {
+		after := adapters[i].snapshot(checkUniverse)
+		if len(after) != len(snapshots[i]) {
+			fmt.Fprintf(os.Stderr, "FAIL: namespace %s changed across a sibling drop: %d pairs, want %d\n",
+				adapters[i].ns.Name(), len(after), len(snapshots[i]))
+			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", reproducer)
+			os.Exit(1)
+		}
+	}
+
+	cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: server drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-served; err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: serve: %v\n", err)
+		os.Exit(1)
+	}
+	m.Close()
+	fmt.Printf("rounds=%d ops=%d unknown=%d\n", rounds, totalOps, unknowns)
+	fmt.Println("skipstress: PASS")
+}
+
+// be64 encodes a non-negative int64 as its order-preserving 8-byte
+// big-endian string.
+func be64(k int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(k))
+	return b[:]
+}
+
+func unbe64(b []byte) int64 {
+	if len(b) != 8 {
+		fmt.Fprintf(os.Stderr, "skipstress: namespace value %x is not 8 bytes\n", b)
+		os.Exit(1)
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// nsAdapter exposes one namespace handle through the conformance
+// interface, bridging the int64 workload onto byte-string keys.
+type nsAdapter struct {
+	ns *client.Namespace
+}
+
+func (a nsAdapter) fatal(op string, err error) {
+	fmt.Fprintf(os.Stderr, "skipstress: transport failure during %s %s: %v\n", a.ns.Name(), op, err)
+	os.Exit(1)
+}
+
+func (a nsAdapter) Lookup(k int64) (int64, bool) {
+	v, ok, err := a.ns.Get(be64(k))
+	if err != nil {
+		a.fatal("Get2", err)
+	}
+	if !ok {
+		return 0, false
+	}
+	return unbe64(v), true
+}
+
+func (a nsAdapter) Insert(k, v int64) bool {
+	ok, err := a.ns.Insert(be64(k), be64(v))
+	if err != nil {
+		a.fatal("Insert2", err)
+	}
+	return ok
+}
+
+func (a nsAdapter) Remove(k int64) bool {
+	ok, err := a.ns.Remove(be64(k))
+	if err != nil {
+		a.fatal("Del2", err)
+	}
+	return ok
+}
+
+func (a nsAdapter) Range(l, r int64, buf []maptest.KV) []maptest.KV {
+	pairs, err := a.ns.Range(be64(l), be64(r), 0)
+	if err != nil {
+		a.fatal("Range2", err)
+	}
+	for _, p := range pairs {
+		buf = append(buf, maptest.KV{Key: unbe64(p.Key), Val: unbe64(p.Val)})
+	}
+	return buf
+}
+
+// Batch implements maptest.Batcher over the wire's v2 atomic batch.
+func (a nsAdapter) Batch(steps []linearize.Step) bool {
+	ws := make([]client.BStep, len(steps))
+	for i, s := range steps {
+		switch s.Kind {
+		case linearize.Insert:
+			ws[i] = client.BStep{Kind: client.StepInsert, Key: be64(s.Key), Val: be64(s.Val)}
+		case linearize.Remove:
+			ws[i] = client.BStep{Kind: client.StepRemove, Key: be64(s.Key)}
+		case linearize.Lookup:
+			ws[i] = client.BStep{Kind: client.StepLookup, Key: be64(s.Key)}
+		}
+	}
+	results, err := a.ns.Atomic(ws)
+	if errors.Is(err, client.ErrCrossShard) {
+		return false // rejected wholesale, no trace to linearize
+	}
+	if err != nil {
+		a.fatal("Batch2", err)
+	}
+	if len(results) != len(steps) {
+		a.fatal("Batch2", fmt.Errorf("%d results for %d steps", len(results), len(steps)))
+	}
+	for i := range steps {
+		steps[i].Ok = results[i].Ok
+		if results[i].Ok && steps[i].Kind == linearize.Lookup {
+			steps[i].Out = unbe64(results[i].Val)
+		}
+	}
+	return true
+}
+
+// snapshot reads the namespace's full state through the wire.
+func (a nsAdapter) snapshot(universe int64) []linearize.KV {
+	pairs, err := a.ns.Range(be64(0), be64(universe), 0)
+	if err != nil {
+		a.fatal("snapshot Range2", err)
+	}
+	out := make([]linearize.KV, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, linearize.KV{Key: unbe64(p.Key), Val: unbe64(p.Val)})
+	}
+	return out
 }
 
 // netAdapter exposes a protocol client through the conformance

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/wire"
+	"repro/skiphash"
 	"repro/skiphash/client"
 )
 
@@ -51,6 +53,140 @@ func Net(w io.Writer, opts Options) error {
 		if err := netTransport(w, transport, wl, opts); err != nil {
 			return err
 		}
+	}
+	return netBytes(w, wl, opts)
+}
+
+// NetByteKeyLen is the byte-key series' fixed key and value width: the
+// v2 ops carry length-prefixed byte strings, and a fixed width keeps
+// the series' per-op payload deterministic.
+const NetByteKeyLen = 16
+
+// netKey encodes k as an order-preserving NetByteKeyLen-byte key.
+func netKey(k int64) []byte {
+	b := make([]byte, NetByteKeyLen)
+	binary.BigEndian.PutUint64(b[NetByteKeyLen-8:], uint64(k))
+	return b
+}
+
+// netBytes records the byte-key serving series: the same mix and sweep
+// as the int64 tcp series, but driven through the v2 ops against one
+// byte-string namespace, measuring the variable-length codec and the
+// namespace executor. Its rows carry KeyBytes and Namespaces identity
+// so cmd/benchdiff never compares them against the int64 series.
+func netBytes(w io.Writer, wl Workload, opts Options) error {
+	subject := NewShardedSkipHash(0, 0, false)
+	defer subject.m.Close()
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Map: skiphash.Config{Shards: subject.m.NumShards()},
+	})
+	if err != nil {
+		return err
+	}
+	srv := server.NewWithRegistry(server.NewShardedBackend(subject.m), reg, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-served
+	}()
+	addr := ln.Addr().String()
+
+	// Create and prefill the namespace through the wire, half the
+	// universe, pipelined.
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	ns, err := cl.CreateNamespace("bench", client.NamespaceOptions{})
+	if err != nil {
+		cl.Close()
+		return err
+	}
+	nsID := ns.ID()
+	rng := rand.New(rand.NewPCG(opts.Seed+71, 0x6b65))
+	cn := cl.Conn(0)
+	calls := make([]*client.Call, 0, NetPipelineWindow)
+	for at := int64(0); at < wl.Universe; at += NetPipelineWindow {
+		calls = calls[:0]
+		for k := at; k < at+NetPipelineWindow && k < wl.Universe; k++ {
+			if rng.Uint64()&1 != 0 {
+				continue
+			}
+			call, err := cn.Start(&wire.Request{Op: wire.OpInsert2, NS: nsID, BKey: netKey(k), BVal: netKey(k)})
+			if err != nil {
+				cl.Close()
+				return err
+			}
+			calls = append(calls, call)
+		}
+		if err := cn.Flush(); err != nil {
+			cl.Close()
+			return err
+		}
+		for _, call := range calls {
+			if _, err := call.Wait(); err != nil {
+				cl.Close()
+				return err
+			}
+		}
+	}
+	cl.Close()
+
+	fmt.Fprintf(w, "# Net (tcp, %d-byte keys, 1 namespace): %s, universe %d, %v x %d trials, served %s, window %d\n",
+		NetByteKeyLen, wl.Name, wl.Universe, opts.Duration, opts.Trials, subject.Name(), NetPipelineWindow)
+	fmt.Fprintf(w, "%-8s %18s %18s %10s\n", "conns", "closed-loop Mops", "pipelined Mops", "speedup")
+	for _, conns := range opts.Threads {
+		var mops [2]float64
+		for si, window := range []int{1, NetPipelineWindow} {
+			res, err := runNetSeriesOps(addr, conns, window, wl, opts, func(req *wire.Request, rng *rand.Rand) {
+				die := int(rng.Uint64() % 100)
+				k := int64(rng.Uint64() % uint64(wl.Universe))
+				switch {
+				case die < wl.LookupPct:
+					*req = wire.Request{Op: wire.OpGet2, NS: nsID, BKey: netKey(k)}
+				default:
+					if rng.Uint64()&1 == 0 {
+						*req = wire.Request{Op: wire.OpInsert2, NS: nsID, BKey: netKey(k), BVal: netKey(k)}
+					} else {
+						*req = wire.Request{Op: wire.OpDel2, NS: nsID, BKey: netKey(k)}
+					}
+				}
+			})
+			if err != nil {
+				return err
+			}
+			mops[si] = res.Mops()
+			if opts.CSV != nil {
+				fmt.Fprintf(opts.CSV, "net-bytes,tcp,%d,%d,%.4f\n", conns, window, res.Mops())
+			}
+			if opts.Report != nil {
+				opts.Report.Add(Row{
+					Experiment: "net",
+					Workload:   wl.Name,
+					Map:        subject.Name() + "-served",
+					Threads:    conns,
+					Shards:     subject.NumShards(),
+					Universe:   wl.Universe,
+					Transport:  "tcp",
+					Pipeline:   window,
+					KeyBytes:   NetByteKeyLen,
+					Namespaces: 1,
+					Mops:       res.Mops(),
+				})
+			}
+		}
+		speedup := 0.0
+		if mops[0] > 0 {
+			speedup = mops[1] / mops[0]
+		}
+		fmt.Fprintf(w, "%-8d %18.3f %18.3f %9.1fx\n", conns, mops[0], mops[1], speedup)
 	}
 	return nil
 }
@@ -167,6 +303,48 @@ func runNetSeries(network, addr string, conns, window int, wl Workload, opts Opt
 
 func runNetTrial(network, addr string, conns, window int, wl Workload,
 	duration time.Duration, seed uint64) (Result, error) {
+	return runNetTrialOps(network, addr, conns, window, duration, seed,
+		func(req *wire.Request, rng *rand.Rand) {
+			die := int(rng.Uint64() % 100)
+			k := int64(rng.Uint64() % uint64(wl.Universe))
+			switch {
+			case die < wl.LookupPct:
+				*req = wire.Request{Op: wire.OpGet, Key: k}
+			default:
+				if rng.Uint64()&1 == 0 {
+					*req = wire.Request{Op: wire.OpInsert, Key: k, Val: k}
+				} else {
+					*req = wire.Request{Op: wire.OpDel, Key: k}
+				}
+			}
+		})
+}
+
+// runNetSeriesOps is runNetSeries for a caller-supplied request mix
+// (the byte-key series), tcp only.
+func runNetSeriesOps(addr string, conns, window int, wl Workload, opts Options,
+	gen func(req *wire.Request, rng *rand.Rand)) (Result, error) {
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	var sum Result
+	for trial := 0; trial < trials; trial++ {
+		r, err := runNetTrialOps("tcp", addr, conns, window, opts.Duration, opts.Seed+uint64(trial)*1000, gen)
+		if err != nil {
+			return sum, err
+		}
+		sum.Ops += r.Ops
+		sum.Elapsed += r.Elapsed
+	}
+	return sum, nil
+}
+
+// runNetTrialOps drives one data point of any request mix: conns
+// connections, each owned by one goroutine keeping window requests in
+// flight (window 1 = closed loop), each request filled in by gen.
+func runNetTrialOps(network, addr string, conns, window int,
+	duration time.Duration, seed uint64, gen func(req *wire.Request, rng *rand.Rand)) (Result, error) {
 	cl, err := client.Dial2(network, addr, client.Options{Conns: conns})
 	if err != nil {
 		return Result{}, err
@@ -201,18 +379,7 @@ func runNetTrial(network, addr string, conns, window int, wl Workload,
 				calls = calls[:0]
 				for j := 0; j < window; j++ {
 					req := &reqs[j]
-					die := int(rng.Uint64() % 100)
-					k := int64(rng.Uint64() % uint64(wl.Universe))
-					switch {
-					case die < wl.LookupPct:
-						*req = wire.Request{Op: wire.OpGet, Key: k}
-					default:
-						if rng.Uint64()&1 == 0 {
-							*req = wire.Request{Op: wire.OpInsert, Key: k, Val: k}
-						} else {
-							*req = wire.Request{Op: wire.OpDel, Key: k}
-						}
-					}
+					gen(req, rng)
 					call, err := cn.Start(req)
 					if err != nil {
 						errs <- err

@@ -102,6 +102,15 @@ type Row struct {
 	// closed-loop series). Threads counts client connections there.
 	Transport string `json:"transport,omitempty"`
 	Pipeline  int    `json:"pipeline,omitempty"`
+	// KeyBytes is the fixed key/value width of a byte-key net series;
+	// zero means the int64 family (8-byte fixed keys on the v1 ops).
+	// Namespaces is how many byte-string namespaces the series drove;
+	// zero means the default map. Both are row identity: benchdiff keys
+	// on them, so an int64 row and a byte-key row never cross-compare
+	// (and old baselines, which predate the fields, decode them as zero
+	// and keep matching the int64 series).
+	KeyBytes   int `json:"key_bytes,omitempty"`
+	Namespaces int `json:"namespaces,omitempty"`
 }
 
 // Report collects Rows across experiments; it is safe for concurrent

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// The v2 executor: the byte-string mirror of the v1 coalescing path.
+// Runs are additionally keyed by namespace — consecutive transactional
+// v2 ops coalesce only while they address the same namespace — and each
+// run executes under the namespace's run lock, so a concurrent NsDrop
+// waits the run out instead of closing the backend under it.
+
+// transactional2 reports whether a v2 op joins coalesced Atomic
+// transactions on its namespace's backend.
+func transactional2(op wire.Op) bool {
+	switch op {
+	case wire.OpGet2, wire.OpInsert2, wire.OpPut2, wire.OpDel2, wire.OpBatch2:
+		return true
+	}
+	return false
+}
+
+// resolveNS maps a request's namespace id to its live namespace,
+// admitting the connection to the namespace's connection quota. A nil
+// namespace comes with the status and message to answer with.
+func (c *conn) resolveNS(id uint32) (*namespace, wire.Status, string) {
+	if id == 0 {
+		return nil, wire.StatusErr, "namespace 0 is the default int64 map: use the v1 ops"
+	}
+	reg := c.srv.reg
+	if reg == nil {
+		return nil, wire.StatusNsNotFound, "server has no namespace registry"
+	}
+	ns := reg.lookup(id)
+	if ns == nil {
+		return nil, wire.StatusNsNotFound, fmt.Sprintf("namespace %d not found", id)
+	}
+	if c.attached == nil {
+		c.attached = make(map[*namespace]struct{}, 4)
+	}
+	if _, ok := c.attached[ns]; !ok {
+		if !ns.attach(c) {
+			return nil, wire.StatusBusy,
+				fmt.Sprintf("namespace %q connection limit %d reached", ns.name, ns.maxConns)
+		}
+		c.attached[ns] = struct{}{}
+	}
+	return ns, wire.StatusOK, ""
+}
+
+// failRun answers every request in a run with one status.
+func (c *conn) failRun(group []wire.Request, status wire.Status, msg string) {
+	for idx := range group {
+		req := &group[idx]
+		c.encodeResponse(&wire.Response{ID: req.ID, Op: req.Op, Status: status, Msg: msg})
+	}
+}
+
+// execRunV2 coalesces and executes one v2 run starting at i, returning
+// the index past it. The run's extent is bounded by the batch, the
+// namespace boundary, the namespace's coalescing quota, and — on
+// isolated-shard backends — the shard boundary, mirroring execRunV1.
+func (c *conn) execRunV2(batch []wire.Request, i int) int {
+	req := &batch[i]
+	ns, status, msg := c.resolveNS(req.NS)
+	if ns == nil {
+		c.encodeResponse(&wire.Response{ID: req.ID, Op: req.Op, Status: status, Msg: msg})
+		return i + 1
+	}
+	maxRun := ns.maxBatch
+	if maxRun <= 0 || maxRun > c.srv.cfg.MaxBatch {
+		maxRun = c.srv.cfg.MaxBatch
+	}
+	sameNS := func(r *wire.Request) bool { return transactional2(r.Op) && r.NS == req.NS }
+
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.dropped {
+		c.encodeResponse(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusNsNotFound,
+			Msg: fmt.Sprintf("namespace %q dropped", ns.name)})
+		return i + 1
+	}
+	be := ns.be
+	j := i + 1
+	if be.Spanning() {
+		for j < len(batch) && j-i < maxRun && sameNS(&batch[j]) {
+			j++
+		}
+	} else {
+		shard, solo := shardOfReq2(be, req)
+		if !solo {
+			for j < len(batch) && j-i < maxRun && sameNS(&batch[j]) {
+				s2, solo2 := shardOfReq2(be, &batch[j])
+				if solo2 || s2 != shard {
+					break
+				}
+				j++
+			}
+		}
+	}
+	if allGets2(batch[i:j]) {
+		for j < len(batch) && j-i < maxRun && batch[j].Op == wire.OpGet2 && batch[j].NS == req.NS {
+			j++
+		}
+		c.prefetchNext2(be, req.NS, batch, j)
+		c.execReads2(be, batch[i:j])
+	} else {
+		c.prefetchNext2(be, req.NS, batch, j)
+		c.execAtomic2(be, batch[i:j])
+	}
+	return j
+}
+
+// allGets2 reports whether every request in the run is a v2 point read.
+func allGets2(group []wire.Request) bool {
+	for i := range group {
+		if group[i].Op != wire.OpGet2 {
+			return false
+		}
+	}
+	return true
+}
+
+// shardOfReq2 maps a v2 request to its coalescing shard on non-spanning
+// backends; solo marks a Batch2 whose own keys span shards.
+func shardOfReq2(be BytesBackend, req *wire.Request) (shard int, solo bool) {
+	if req.Op != wire.OpBatch2 {
+		return be.ShardOf(string(req.BKey)), false
+	}
+	if len(req.BSteps) == 0 {
+		return 0, false
+	}
+	shard = be.ShardOf(string(req.BSteps[0].Key))
+	for i := range req.BSteps[1:] {
+		if be.ShardOf(string(req.BSteps[1+i].Key)) != shard {
+			return 0, true
+		}
+	}
+	return shard, false
+}
+
+// prefetchNext2 warms the next run's keys on the namespace backend,
+// restricted to requests addressing the same namespace (other
+// namespaces' keys live in other maps).
+func (c *conn) prefetchNext2(be BytesBackend, ns uint32, batch []wire.Request, from int) {
+	n := 0
+	for idx := from; idx < len(batch) && n < prefetchAhead; idx++ {
+		req := &batch[idx]
+		if !req.Op.IsV2Data() || req.NS != ns {
+			continue
+		}
+		switch req.Op {
+		case wire.OpGet2, wire.OpInsert2, wire.OpPut2, wire.OpDel2:
+			be.Prefetch(string(req.BKey))
+			n++
+		case wire.OpBatch2:
+			for si := range req.BSteps {
+				if n >= prefetchAhead {
+					break
+				}
+				be.Prefetch(string(req.BSteps[si].Key))
+				n++
+			}
+		}
+	}
+}
+
+// execReads2 answers a pure-read v2 run through the backend's direct
+// read path, reusing one value scratch per response (the encode copies
+// it into the write buffer before the next read overwrites it).
+func (c *conn) execReads2(be BytesBackend, group []wire.Request) {
+	var resp wire.Response
+	for idx := range group {
+		req := &group[idx]
+		resp = wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+		v, ok := be.Get(string(req.BKey))
+		resp.Ok = ok
+		if ok {
+			c.bval = append(c.bval[:0], v...)
+			resp.BVal = c.bval
+		}
+		c.encodeResponse(&resp)
+	}
+}
+
+// execAtomic2 executes a coalesced v2 run as one transaction on the
+// namespace backend and encodes the responses, mirroring execAtomic.
+func (c *conn) execAtomic2(be BytesBackend, group []wire.Request) {
+	resps := c.resps[:len(group)]
+	err := be.Atomic(func(op BBatch) error {
+		for idx := range group {
+			req := &group[idx]
+			resp := &resps[idx]
+			resp.ID, resp.Op, resp.Status, resp.Msg = req.ID, req.Op, wire.StatusOK, ""
+			resp.BVal = nil
+			switch req.Op {
+			case wire.OpGet2:
+				v, ok := op.Lookup(string(req.BKey))
+				resp.Ok = ok
+				if ok {
+					resp.BVal = []byte(v)
+				}
+			case wire.OpInsert2:
+				resp.Ok = op.Insert(string(req.BKey), string(req.BVal))
+			case wire.OpPut2:
+				resp.Ok = op.Put(string(req.BKey), string(req.BVal))
+			case wire.OpDel2:
+				resp.Ok = op.Remove(string(req.BKey))
+			case wire.OpBatch2:
+				resp.BSteps = resp.BSteps[:0]
+				for si := range req.BSteps {
+					s := &req.BSteps[si]
+					var sr wire.BStepResult
+					switch s.Kind {
+					case wire.StepInsert:
+						sr.Ok = op.Insert(string(s.Key), string(s.Val))
+					case wire.StepRemove:
+						sr.Ok = op.Remove(string(s.Key))
+					case wire.StepLookup:
+						v, ok := op.Lookup(string(s.Key))
+						sr.Ok = ok
+						if ok {
+							sr.Val = []byte(v)
+						}
+					}
+					resp.BSteps = append(resp.BSteps, sr)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		status, msg := statusFor(err)
+		c.failRun(group, status, msg)
+		return
+	}
+	for idx := range resps {
+		c.encodeResponse(&resps[idx])
+	}
+}
+
+// execStandalone2 handles the non-coalescable v2 namespace ops (Range2,
+// Sync2, Snapshot2) under the namespace's run lock.
+func (c *conn) execStandalone2(req *wire.Request, resp *wire.Response) {
+	ns, status, msg := c.resolveNS(req.NS)
+	if ns == nil {
+		resp.Status, resp.Msg = status, msg
+		return
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.dropped {
+		resp.Status = wire.StatusNsNotFound
+		resp.Msg = fmt.Sprintf("namespace %q dropped", ns.name)
+		return
+	}
+	switch req.Op {
+	case wire.OpRange2:
+		c.execRange2(ns.be, req, resp)
+	case wire.OpSync2:
+		if err := ns.be.Sync(); err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpSnapshot2:
+		if err := ns.be.Snapshot(); err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+		}
+	}
+}
+
+// execRange2 answers one Range2: [lo, hi] (or everything from lo with
+// NoHi) in lexicographic order, truncated to the client's Max and to
+// wire.MaxRangeBytes2 so the response always encodes as one frame.
+func (c *conn) execRange2(be BytesBackend, req *wire.Request, resp *wire.Response) {
+	max := int(req.Max)
+	budget := wire.MaxRangeBytes2
+	c.bkvs = c.bkvs[:0]
+	take := func(k, v string) bool {
+		cost := 8 + len(k) + len(v)
+		if budget < cost || (max > 0 && len(c.bkvs) >= max) {
+			return false
+		}
+		budget -= cost
+		c.bkvs = append(c.bkvs, wire.BKV{Key: []byte(k), Val: []byte(v)})
+		return true
+	}
+	if req.NoHi {
+		be.AscendFrom(string(req.BKey), take)
+	} else {
+		c.bpairs = be.Range(string(req.BKey), string(req.BVal), c.bpairs[:0])
+		for i := range c.bpairs {
+			if !take(c.bpairs[i].Key, c.bpairs[i].Val) {
+				break
+			}
+		}
+	}
+	resp.BPairs = c.bkvs
+}
+
+// execAdmin handles the namespace admin ops.
+func (c *conn) execAdmin(req *wire.Request, resp *wire.Response) {
+	reg := c.srv.reg
+	switch req.Op {
+	case wire.OpNsCreate:
+		if reg == nil {
+			resp.Status, resp.Msg = wire.StatusErr, "server has no namespace registry"
+			return
+		}
+		ns, err := reg.Create(req.Name, req.Durable, req.Fsync)
+		if err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+			return
+		}
+		resp.NsID = ns.id
+	case wire.OpNsDrop:
+		if reg == nil {
+			resp.Status, resp.Msg = wire.StatusErr, "server has no namespace registry"
+			return
+		}
+		if err := reg.Drop(req.Name); err != nil {
+			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpNsList:
+		resp.Namespaces = []wire.NsInfo{{ID: 0, Name: "default", Durable: c.srv.defDurable}}
+		if reg != nil {
+			resp.Namespaces = append(resp.Namespaces, reg.List()...)
+		}
+	}
+}

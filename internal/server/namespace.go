@@ -1,0 +1,432 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+	"repro/skiphash"
+)
+
+// BPair is a byte-namespace key/value pair. Byte-string keys and values
+// cross the wire as []byte but are stored as immutable strings (the
+// map's comparable key type); the conversion boundary is the executor.
+type BPair = skiphash.Pair[string, string]
+
+// Namespace-admin errors, surfaced over the wire as StatusNsNotFound /
+// StatusNsExists and matched by the client's typed sentinels.
+var (
+	ErrNsNotFound = errors.New("server: namespace not found")
+	ErrNsExists   = errors.New("server: namespace already exists")
+)
+
+// BBatch is the transactional view a BytesBackend hands the executor
+// inside Atomic, mirroring Batch for byte-string namespaces.
+type BBatch interface {
+	Lookup(k string) (string, bool)
+	Insert(k, v string) bool
+	Remove(k string) bool
+	Put(k, v string) bool
+}
+
+// BytesBackend is the byte-string counterpart of Backend: the map a
+// named namespace executes against. Close releases the backend (a
+// durable one flushes and fsyncs its WAL).
+type BytesBackend interface {
+	Atomic(fn func(op BBatch) error) error
+	Get(k string) (string, bool)
+	Prefetch(k string)
+	// Range collects [l, r] in lexicographic order, appending to out.
+	Range(l, r string, out []BPair) []BPair
+	// AscendFrom visits pairs with key >= from in ascending order until
+	// fn returns false — the upper-unbounded Range2 path.
+	AscendFrom(from string, fn func(k, v string) bool)
+	ShardOf(k string) int
+	Spanning() bool
+	Sync() error
+	Snapshot() error
+	Quiesce()
+	Close()
+}
+
+// StringBackend serves a sharded string-keyed skip hash as a namespace
+// backend.
+type StringBackend struct {
+	s *skiphash.Sharded[string, string]
+}
+
+// NewStringBackend wraps s.
+func NewStringBackend(s *skiphash.Sharded[string, string]) *StringBackend {
+	return &StringBackend{s: s}
+}
+
+// Atomic implements BytesBackend.
+func (b *StringBackend) Atomic(fn func(op BBatch) error) error {
+	return b.s.Atomic(func(op *skiphash.ShardedTxn[string, string]) error { return fn(op) })
+}
+
+// Get implements BytesBackend.
+func (b *StringBackend) Get(k string) (string, bool) { return b.s.Lookup(k) }
+
+// Prefetch implements BytesBackend.
+func (b *StringBackend) Prefetch(k string) { b.s.Prefetch(k) }
+
+// Range implements BytesBackend.
+func (b *StringBackend) Range(l, r string, out []BPair) []BPair { return b.s.Range(l, r, out) }
+
+// AscendFrom implements BytesBackend.
+func (b *StringBackend) AscendFrom(from string, fn func(k, v string) bool) {
+	b.s.AscendFrom(from, fn)
+}
+
+// ShardOf implements BytesBackend.
+func (b *StringBackend) ShardOf(k string) int { return b.s.ShardOf(k) }
+
+// Spanning implements BytesBackend.
+func (b *StringBackend) Spanning() bool { return !b.s.Isolated() }
+
+// Sync implements BytesBackend.
+func (b *StringBackend) Sync() error { return b.s.Sync() }
+
+// Snapshot implements BytesBackend.
+func (b *StringBackend) Snapshot() error { return b.s.Snapshot() }
+
+// Quiesce implements BytesBackend.
+func (b *StringBackend) Quiesce() { b.s.Quiesce() }
+
+// Close implements BytesBackend.
+func (b *StringBackend) Close() { b.s.Close() }
+
+// RegistryConfig tunes a namespace registry.
+type RegistryConfig struct {
+	// Root is the directory under which runtime-created durable
+	// namespaces live, one ns-<name> subdirectory each; NewRegistry
+	// reopens every namespace already present there. Empty refuses
+	// durable NsCreate (and performs no discovery).
+	Root string
+	// Map is the base map configuration for every namespace backend
+	// (shards, isolation, maintenance; Durability is set per namespace).
+	Map skiphash.Config
+	// Durability is the template for durable namespaces: Dir is
+	// overridden per namespace and Fsync supplies the NsFsyncDefault
+	// policy; the other knobs apply as-is.
+	Durability skiphash.Durability
+	// MaxConns bounds how many connections may concurrently use one
+	// namespace (0 = unlimited). A request from a connection over the
+	// quota is answered with StatusBusy — per request, not by tearing
+	// the connection down, since the same connection may be serving
+	// other namespaces within quota.
+	MaxConns int
+	// MaxBatch bounds how many pipelined requests one namespace's
+	// coalesced transaction may absorb (0 = the server's MaxBatch).
+	MaxBatch int
+}
+
+// Registry owns a server's named namespaces: creation, lookup by the
+// wire's namespace ids, dropping, and shutdown. The default namespace
+// (id 0, the server's v1 int64 Backend) is not registered here — it is
+// the Server's own backend and cannot be dropped.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu     sync.RWMutex
+	byID   map[uint32]*namespace
+	byName map[string]*namespace
+	nextID uint32
+}
+
+// namespace is one named map being served. Executor runs hold mu.RLock
+// for their whole run; Drop takes mu.Lock, so it waits out in-flight
+// runs before the backend is closed and the directory deleted.
+type namespace struct {
+	id       uint32
+	name     string
+	durable  bool
+	dir      string // "" for in-memory namespaces
+	be       BytesBackend
+	maxConns int
+	maxBatch int
+
+	mu      sync.RWMutex
+	dropped bool
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+}
+
+// attach admits c to the namespace's connection quota; false answers
+// the request with StatusBusy.
+func (ns *namespace) attach(c *conn) bool {
+	ns.connMu.Lock()
+	defer ns.connMu.Unlock()
+	if _, ok := ns.conns[c]; ok {
+		return true
+	}
+	if ns.maxConns > 0 && len(ns.conns) >= ns.maxConns {
+		return false
+	}
+	ns.conns[c] = struct{}{}
+	return true
+}
+
+func (ns *namespace) detach(c *conn) {
+	ns.connMu.Lock()
+	delete(ns.conns, c)
+	ns.connMu.Unlock()
+}
+
+// fsyncMetaFile records a durable namespace's fsync-policy selector (the
+// wire.NsFsync* byte) so a reopen restores the policy it was created
+// with rather than the registry default of the day.
+const fsyncMetaFile = "nsfsync"
+
+// NewRegistry creates a registry and, when cfg.Root is set, reopens
+// every durable namespace already on disk (ns-<name> subdirectories, in
+// name order — namespace ids are assigned per process lifetime and are
+// not stable across restarts; clients resolve names via NsList or
+// NsCreate).
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	r := &Registry{
+		cfg:    cfg,
+		byID:   make(map[uint32]*namespace),
+		byName: make(map[string]*namespace),
+		nextID: 1,
+	}
+	if cfg.Root == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, err
+	}
+	dirs, err := filepath.Glob(filepath.Join(cfg.Root, "ns-*"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		name := strings.TrimPrefix(filepath.Base(dir), "ns-")
+		if err := checkNsName(name); err != nil {
+			r.CloseAll()
+			return nil, fmt.Errorf("server: namespace dir %s: %w", dir, err)
+		}
+		fsync := wire.NsFsyncDefault
+		if raw, err := os.ReadFile(filepath.Join(dir, fsyncMetaFile)); err == nil {
+			if v, err := strconv.Atoi(strings.TrimSpace(string(raw))); err == nil && v <= int(wire.NsFsyncAlways) {
+				fsync = uint8(v)
+			}
+		}
+		if _, err := r.CreateAt(name, dir, fsync); err != nil {
+			r.CloseAll()
+			return nil, fmt.Errorf("server: reopen namespace %q: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// checkNsName enforces the server's namespace-name policy. The wire
+// format permits any bytes up to MaxNsName; the server restricts names
+// to filesystem-safe [A-Za-z0-9._-] (so a name can be a directory name)
+// and reserves "default" for namespace 0.
+func checkNsName(name string) error {
+	if name == "" || len(name) > wire.MaxNsName {
+		return fmt.Errorf("namespace name must be 1..%d bytes", wire.MaxNsName)
+	}
+	if name == "default" {
+		return errors.New(`namespace name "default" is reserved for the v1 map`)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("namespace name %q: byte %d is not in [A-Za-z0-9._-]", name, i)
+		}
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("namespace name %q may not start with '.'", name)
+	}
+	return nil
+}
+
+// fsyncPolicy maps a wire fsync selector onto the registry's durability
+// template.
+func (r *Registry) fsyncPolicy(sel uint8) (skiphash.FsyncPolicy, error) {
+	switch sel {
+	case wire.NsFsyncDefault:
+		return r.cfg.Durability.Fsync, nil
+	case wire.NsFsyncNone:
+		return skiphash.FsyncNone, nil
+	case wire.NsFsyncInterval:
+		return skiphash.FsyncInterval, nil
+	case wire.NsFsyncAlways:
+		return skiphash.FsyncAlways, nil
+	default:
+		return 0, fmt.Errorf("server: unknown fsync policy %d", sel)
+	}
+}
+
+// Create makes a new namespace: in-memory, or durable under
+// Root/ns-<name>. It returns ErrNsExists for a taken name. The create
+// holds the registry lock across a durable namespace's recovery, so
+// lookups (and with them all v2 traffic) stall for its duration —
+// acceptable for an admin operation.
+func (r *Registry) Create(name string, durable bool, fsync uint8) (*namespace, error) {
+	dir := ""
+	if durable {
+		if r.cfg.Root == "" {
+			return nil, errors.New("server: registry has no root directory; durable namespaces unavailable")
+		}
+		if err := checkNsName(name); err != nil {
+			return nil, err
+		}
+		dir = filepath.Join(r.cfg.Root, "ns-"+name)
+	}
+	return r.create(name, dir, fsync)
+}
+
+// CreateAt makes (or reopens) a durable namespace at an explicit
+// directory — the daemon's -ns flag path. If the name already exists
+// with the same directory, the existing namespace is returned.
+func (r *Registry) CreateAt(name, dir string, fsync uint8) (*namespace, error) {
+	r.mu.RLock()
+	existing := r.byName[name]
+	r.mu.RUnlock()
+	if existing != nil {
+		if existing.dir == dir {
+			return existing, nil
+		}
+		return nil, fmt.Errorf("%w: %q is open at %s", ErrNsExists, name, existing.dir)
+	}
+	return r.create(name, dir, fsync)
+}
+
+func (r *Registry) create(name, dir string, fsync uint8) (*namespace, error) {
+	if err := checkNsName(name); err != nil {
+		return nil, err
+	}
+	pol, err := r.fsyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrNsExists, name)
+	}
+	mapCfg := r.cfg.Map
+	mapCfg.Durability = nil
+	if dir != "" {
+		dur := r.cfg.Durability
+		dur.Dir = dir
+		dur.Fsync = pol
+		mapCfg.Durability = &dur
+	}
+	s, err := skiphash.OpenStringSharded[string](mapCfg, skiphash.StringCodec())
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		// Best effort: the selector is advisory metadata for reopen.
+		os.WriteFile(filepath.Join(dir, fsyncMetaFile), []byte(strconv.Itoa(int(fsync))+"\n"), 0o644)
+	}
+	ns := &namespace{
+		id:       r.nextID,
+		name:     name,
+		durable:  dir != "",
+		dir:      dir,
+		be:       NewStringBackend(s),
+		maxConns: r.cfg.MaxConns,
+		maxBatch: r.cfg.MaxBatch,
+		conns:    make(map[*conn]struct{}),
+	}
+	r.nextID++
+	r.byID[ns.id] = ns
+	r.byName[name] = ns
+	return ns, nil
+}
+
+// Drop unregisters a namespace, waits out its in-flight executor runs,
+// closes its backend, and — for a durable namespace — deletes its
+// directory. Requests racing the drop answer StatusNsNotFound.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	ns, ok := r.byName[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNsNotFound, name)
+	}
+	delete(r.byName, name)
+	delete(r.byID, ns.id)
+	r.mu.Unlock()
+	ns.mu.Lock()
+	ns.dropped = true
+	ns.mu.Unlock()
+	ns.be.Close()
+	if ns.dir != "" {
+		return os.RemoveAll(ns.dir)
+	}
+	return nil
+}
+
+// lookup resolves a wire namespace id; nil when unknown.
+func (r *Registry) lookup(id uint32) *namespace {
+	r.mu.RLock()
+	ns := r.byID[id]
+	r.mu.RUnlock()
+	return ns
+}
+
+// LookupName resolves a namespace name to its id for this process
+// lifetime.
+func (r *Registry) LookupName(name string) (uint32, bool) {
+	r.mu.RLock()
+	ns, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return ns.id, true
+}
+
+// List reports the named namespaces in id order (the default namespace
+// 0 is the Server's and is prepended by the NsList handler).
+func (r *Registry) List() []wire.NsInfo {
+	r.mu.RLock()
+	out := make([]wire.NsInfo, 0, len(r.byID))
+	for _, ns := range r.byID {
+		out = append(out, wire.NsInfo{ID: ns.id, Name: ns.name, Durable: ns.durable})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CloseAll closes every namespace backend (durable ones flush and
+// fsync), leaving directories intact. Server.Shutdown calls it after
+// draining.
+func (r *Registry) CloseAll() {
+	r.mu.Lock()
+	nss := make([]*namespace, 0, len(r.byID))
+	for _, ns := range r.byID {
+		nss = append(nss, ns)
+	}
+	r.byID = make(map[uint32]*namespace)
+	r.byName = make(map[string]*namespace)
+	r.mu.Unlock()
+	for _, ns := range nss {
+		ns.mu.Lock()
+		ns.dropped = true
+		ns.mu.Unlock()
+		ns.be.Close()
+	}
+}

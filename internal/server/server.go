@@ -164,10 +164,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one Backend over any number of listeners.
+// Server serves one Backend over any number of listeners. With a
+// Registry attached it additionally serves named byte-string namespaces
+// through the wire v2 ops; the Backend stays namespace 0, the default
+// map, reachable only through the v1 ops.
 type Server struct {
-	be  Backend
-	cfg Config
+	be         Backend
+	reg        *Registry
+	defDurable bool
+	cfg        Config
 
 	mu       sync.Mutex
 	lns      map[net.Listener]struct{}
@@ -176,7 +181,9 @@ type Server struct {
 	connWG   sync.WaitGroup
 }
 
-// New creates a server around be.
+// New creates a server around be. Without a registry the server speaks
+// only the v1 ops (v2 data ops answer StatusNsNotFound, NsCreate
+// StatusErr).
 func New(be Backend, cfg Config) *Server {
 	return &Server{
 		be:    be,
@@ -185,6 +192,22 @@ func New(be Backend, cfg Config) *Server {
 		conns: make(map[*conn]struct{}),
 	}
 }
+
+// NewWithRegistry creates a multi-namespace server: be is namespace 0
+// (the v1 int64 map), reg owns the named namespaces. The server takes
+// ownership of the registry's backends — Shutdown closes them.
+func NewWithRegistry(be Backend, reg *Registry, cfg Config) *Server {
+	s := New(be, cfg)
+	s.reg = reg
+	return s
+}
+
+// Registry exposes the attached namespace registry (nil without one).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// SetDefaultDurable records whether the default namespace is durable,
+// for NsList reporting. Call before Serve.
+func (s *Server) SetDefaultDurable(d bool) { s.defDurable = d }
 
 // errServerClosed distinguishes a drain-initiated accept failure.
 var errServerClosed = errors.New("server: shut down")
@@ -311,6 +334,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.be.Quiesce()
+	if s.reg != nil {
+		s.reg.CloseAll()
+	}
 	return err
 }
 
@@ -325,11 +351,19 @@ type conn struct {
 	reqs chan wire.Request
 
 	// Executor scratch, reused across drain cycles.
-	resps []wire.Response
-	enc   []byte
-	pairs []Pair
-	kvs   []wire.KV
-	batch []wire.Request
+	resps  []wire.Response
+	enc    []byte
+	pairs  []Pair
+	kvs    []wire.KV
+	batch  []wire.Request
+	bpairs []BPair
+	bkvs   []wire.BKV
+	bval   []byte
+
+	// attached caches which namespaces this connection has been
+	// admitted to (the per-namespace connection quota), so the quota
+	// check is a conn-local map hit after the first request.
+	attached map[*namespace]struct{}
 
 	drained atomic.Bool
 }
@@ -443,6 +477,9 @@ func (c *conn) teardown() {
 	c.nc.Close()
 	for range c.reqs {
 	}
+	for ns := range c.attached {
+		ns.detach(c)
+	}
 	s := c.srv
 	s.mu.Lock()
 	delete(s.conns, c)
@@ -451,49 +488,62 @@ func (c *conn) teardown() {
 
 // execute runs one drain cycle's requests in order, coalescing maximal
 // runs of transactional ops into single Atomic transactions and
-// encoding every response into the write buffer.
+// encoding every response into the write buffer. The two op families
+// never share a run: a v1 run executes against the default backend, a
+// v2 run against one namespace's backend, and each family boundary ends
+// the run.
 func (c *conn) execute(batch []wire.Request) {
-	spanning := c.srv.be.Spanning()
 	i := 0
 	for i < len(batch) {
 		req := &batch[i]
-		if !transactional(req.Op) {
+		switch {
+		case transactional(req.Op):
+			i = c.execRunV1(batch, i)
+		case transactional2(req.Op):
+			i = c.execRunV2(batch, i)
+		default:
 			c.execStandalone(req)
 			i++
-			continue
 		}
-		j := i + 1
-		if spanning {
-			for j < len(batch) && transactional(batch[j].Op) {
-				j++
-			}
-		} else {
-			shard, solo := c.shardOfReq(req)
-			if !solo {
-				for j < len(batch) && transactional(batch[j].Op) {
-					s2, solo2 := c.shardOfReq(&batch[j])
-					if solo2 || s2 != shard {
-						break
-					}
-					j++
-				}
-			}
-		}
-		if allGets(batch[i:j]) {
-			// Reads never join a transaction, so a pure-read run may also
-			// absorb the Gets a shard boundary would otherwise have split
-			// off into the next run.
-			for j < len(batch) && batch[j].Op == wire.OpGet {
-				j++
-			}
-			c.prefetchNext(batch, j)
-			c.execReads(batch[i:j])
-		} else {
-			c.prefetchNext(batch, j)
-			c.execAtomic(batch[i:j])
-		}
-		i = j
 	}
+}
+
+// execRunV1 coalesces and executes one v1 run starting at i, returning
+// the index past it.
+func (c *conn) execRunV1(batch []wire.Request, i int) int {
+	spanning := c.srv.be.Spanning()
+	req := &batch[i]
+	j := i + 1
+	if spanning {
+		for j < len(batch) && transactional(batch[j].Op) {
+			j++
+		}
+	} else {
+		shard, solo := c.shardOfReq(req)
+		if !solo {
+			for j < len(batch) && transactional(batch[j].Op) {
+				s2, solo2 := c.shardOfReq(&batch[j])
+				if solo2 || s2 != shard {
+					break
+				}
+				j++
+			}
+		}
+	}
+	if allGets(batch[i:j]) {
+		// Reads never join a transaction, so a pure-read run may also
+		// absorb the Gets a shard boundary would otherwise have split
+		// off into the next run.
+		for j < len(batch) && batch[j].Op == wire.OpGet {
+			j++
+		}
+		c.prefetchNext(batch, j)
+		c.execReads(batch[i:j])
+	} else {
+		c.prefetchNext(batch, j)
+		c.execAtomic(batch[i:j])
+	}
+	return j
 }
 
 // allGets reports whether every request in the run is a point read.
@@ -676,6 +726,10 @@ func (c *conn) execStandalone(req *wire.Request) {
 		} else {
 			resp.Status, resp.Msg = wire.StatusErr, "backend is not promotable"
 		}
+	case wire.OpRange2, wire.OpSync2, wire.OpSnapshot2:
+		c.execStandalone2(req, &resp)
+	case wire.OpNsCreate, wire.OpNsDrop, wire.OpNsList:
+		c.execAdmin(req, &resp)
 	case wire.OpPing:
 		// empty response
 	}
@@ -709,6 +763,10 @@ func statusFor(err error) (wire.Status, string) {
 		return wire.StatusCorrupt, err.Error()
 	case errors.Is(err, ErrReadOnly):
 		return wire.StatusReadOnly, err.Error()
+	case errors.Is(err, ErrNsNotFound):
+		return wire.StatusNsNotFound, err.Error()
+	case errors.Is(err, ErrNsExists):
+		return wire.StatusNsExists, err.Error()
 	default:
 		return wire.StatusErr, err.Error()
 	}

@@ -97,7 +97,31 @@ const (
 	// Serving ops added with replication.
 	OpWatermark
 	OpPromote
+	// The v2 frame family: namespace-addressed byte-string data ops and
+	// namespace admin ops (see wire2.go for the encoding).
+	OpGet2
+	OpInsert2
+	OpPut2
+	OpDel2
+	OpRange2
+	OpBatch2
+	OpSync2
+	OpSnapshot2
+	OpNsCreate
+	OpNsDrop
+	OpNsList
 )
+
+// IsV2Data reports whether op is a namespace-addressed v2 data op (its
+// body begins with a namespace id). Admin ops address namespaces by
+// name and are not data ops.
+func (o Op) IsV2Data() bool {
+	switch o {
+	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2:
+		return true
+	}
+	return false
+}
 
 // String names the op for diagnostics.
 func (o Op) String() string {
@@ -134,6 +158,28 @@ func (o Op) String() string {
 		return "Watermark"
 	case OpPromote:
 		return "Promote"
+	case OpGet2:
+		return "Get2"
+	case OpInsert2:
+		return "Insert2"
+	case OpPut2:
+		return "Put2"
+	case OpDel2:
+		return "Del2"
+	case OpRange2:
+		return "Range2"
+	case OpBatch2:
+		return "Batch2"
+	case OpSync2:
+		return "Sync2"
+	case OpSnapshot2:
+		return "Snapshot2"
+	case OpNsCreate:
+		return "NsCreate"
+	case OpNsDrop:
+		return "NsDrop"
+	case OpNsList:
+		return "NsList"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -169,6 +215,13 @@ const (
 	// replica that has not been promoted; the client maps it to its
 	// ErrReadOnly.
 	StatusReadOnly
+	// StatusNsNotFound reports a v2 op addressed to a namespace id or
+	// name the server does not know; the client maps it to
+	// ErrNamespaceNotFound.
+	StatusNsNotFound
+	// StatusNsExists reports an NsCreate whose name is already taken;
+	// the client maps it to ErrNamespaceExists.
+	StatusNsExists
 )
 
 // String names the status for diagnostics.
@@ -190,6 +243,10 @@ func (s Status) String() string {
 		return "Err"
 	case StatusReadOnly:
 		return "ReadOnly"
+	case StatusNsNotFound:
+		return "NsNotFound"
+	case StatusNsExists:
+		return "NsExists"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -222,10 +279,25 @@ type Request struct {
 	Op Op
 	// Key, Val are the point-op arguments; Range uses Key=lo, Val=hi.
 	Key, Val int64
-	// Max bounds a Range's result count (0 = unbounded).
+	// Max bounds a Range's result count (0 = unbounded); Range2 reuses
+	// it with the same meaning.
 	Max uint32
 	// Steps is a Batch's body.
 	Steps []Step
+
+	// NS addresses a v2 data op's namespace.
+	NS uint32
+	// BKey, BVal are the v2 point-op arguments; Range2 uses BKey=lo,
+	// BVal=hi.
+	BKey, BVal []byte
+	// NoHi marks a Range2 with no upper bound (BVal is then ignored).
+	NoHi bool
+	// BSteps is a Batch2's body.
+	BSteps []BStep
+	// Name, Durable, Fsync are the NsCreate/NsDrop arguments.
+	Name    string
+	Durable bool
+	Fsync   uint8
 }
 
 // Response is a decoded response frame.
@@ -242,6 +314,17 @@ type Response struct {
 	Steps []StepResult
 	// Msg describes a non-OK status.
 	Msg string
+
+	// BVal is a Get2 result's value (present only when Ok).
+	BVal []byte
+	// BPairs is a Range2 result, in lexicographic key order.
+	BPairs []BKV
+	// BSteps is a Batch2 result, one entry per request step.
+	BSteps []BStepResult
+	// NsID is an NsCreate result's assigned namespace id.
+	NsID uint32
+	// Namespaces is an NsList result.
+	Namespaces []NsInfo
 }
 
 // Err converts a non-OK status into an error-shaped description; the
@@ -353,6 +436,9 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		}
 	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
 		// no body
+	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
+		OpNsCreate, OpNsDrop, OpNsList:
+		dst = appendRequest2(dst, req)
 	}
 	return finishFrame(dst, hdr)
 }
@@ -391,6 +477,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = appendI64(dst, resp.Val)
 	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
+	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
+		OpNsCreate, OpNsDrop, OpNsList:
+		dst = appendResponse2(dst, resp)
 	}
 	return finishFrame(dst, hdr)
 }
@@ -441,6 +530,16 @@ func (d *decoder) u64(what string) uint64 {
 }
 
 func (d *decoder) i64(what string) int64 { return int64(d.u64(what)) }
+
+// bool8 reads a boolean byte strictly: only 0 and 1 are legal, so every
+// accepted payload re-encodes canonically (a fuzz-checked property).
+func (d *decoder) bool8(what string) bool {
+	v := d.u8(what)
+	if d.err == nil && v > 1 {
+		d.err = protoErrf("boolean %s encoded as %d", what, v)
+	}
+	return v != 0
+}
 
 func (d *decoder) bytes(n int, what string) []byte {
 	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
@@ -502,6 +601,9 @@ func ParseRequest(payload []byte) (Request, error) {
 		}
 	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
 		// no body
+	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
+		OpNsCreate, OpNsDrop, OpNsList:
+		parseRequest2(&d, &req)
 	default:
 		return req, protoErrf("unknown op %d", uint8(req.Op))
 	}
@@ -516,7 +618,7 @@ func ParseResponse(payload []byte) (Response, error) {
 	resp.ID = d.u64("id")
 	resp.Op = Op(d.u8("op"))
 	resp.Status = Status(d.u8("status"))
-	if resp.Status > StatusReadOnly {
+	if resp.Status > StatusNsExists {
 		return resp, protoErrf("unknown status %d", uint8(resp.Status))
 	}
 	if resp.Status != StatusOK {
@@ -526,10 +628,10 @@ func ParseResponse(payload []byte) (Response, error) {
 	}
 	switch resp.Op {
 	case OpGet:
-		resp.Ok = d.u8("ok") != 0
+		resp.Ok = d.bool8("ok")
 		resp.Val = d.i64("val")
 	case OpInsert, OpPut, OpDel:
-		resp.Ok = d.u8("ok") != 0
+		resp.Ok = d.bool8("ok")
 	case OpRange:
 		n := d.u32("pair count")
 		// Each pair is 16 bytes; the framing limit already bounds n, but
@@ -552,7 +654,7 @@ func ParseResponse(payload []byte) (Response, error) {
 			resp.Steps = make([]StepResult, 0, n)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
-			ok := d.u8("result ok") != 0
+			ok := d.bool8("result ok")
 			out := d.i64("result out")
 			resp.Steps = append(resp.Steps, StepResult{Ok: ok, Out: out})
 		}
@@ -560,6 +662,9 @@ func ParseResponse(payload []byte) (Response, error) {
 		resp.Val = d.i64("watermark")
 	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
+	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
+		OpNsCreate, OpNsDrop, OpNsList:
+		parseResponse2(&d, &resp)
 	default:
 		return resp, protoErrf("unknown op %d", uint8(resp.Op))
 	}

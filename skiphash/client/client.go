@@ -560,6 +560,10 @@ func statusError(resp *wire.Response) error {
 		return ErrShuttingDown
 	case wire.StatusReadOnly:
 		return ErrReadOnly
+	case wire.StatusNsNotFound:
+		return fmt.Errorf("client: server reported %q: %w", resp.Msg, ErrNamespaceNotFound)
+	case wire.StatusNsExists:
+		return fmt.Errorf("client: server reported %q: %w", resp.Msg, ErrNamespaceExists)
 	default:
 		return fmt.Errorf("client: server error: %s", resp.Msg)
 	}

@@ -23,6 +23,8 @@ func TestStatusErrorMapsToMapSentinels(t *testing.T) {
 		{wire.StatusCorrupt, skiphash.ErrCorrupt},
 		{wire.StatusBusy, ErrServerBusy},
 		{wire.StatusShuttingDown, ErrShuttingDown},
+		{wire.StatusNsNotFound, ErrNamespaceNotFound},
+		{wire.StatusNsExists, ErrNamespaceExists},
 	}
 	for _, c := range cases {
 		err := statusError(&wire.Response{Status: c.status, Msg: "m"})

@@ -130,6 +130,17 @@ func OpenInt64Sharded[V any](cfg Config, vals Codec[V]) (*Sharded[int64, V], err
 	return OpenSharded[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg, Int64Codec(), vals)
 }
 
+// OpenString is Open for string keys in lexicographic order.
+func OpenString[V any](cfg Config, vals Codec[V]) (*Map[string, V], error) {
+	return Open[string, V](func(a, b string) bool { return a < b }, HashString, cfg, StringCodec(), vals)
+}
+
+// OpenStringSharded is OpenSharded for string keys — the constructor
+// behind the serving layer's byte-string namespaces.
+func OpenStringSharded[V any](cfg Config, vals Codec[V]) (*Sharded[string, V], error) {
+	return OpenSharded[string, V](func(a, b string) bool { return a < b }, HashString, cfg, StringCodec(), vals)
+}
+
 // openIsolatedSharded opens one durability engine per shard under
 // dir/shard-NNN. The shard count is pinned by a meta file written only
 // after the first fully successful open, so a crashed or failed first

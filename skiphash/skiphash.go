@@ -125,6 +125,22 @@
 // holds whether the Atomic that crossed isolated shards ran in-process
 // or on the far side of a socket.
 //
+// The wire speaks two op families over one framing. The v1 ops carry
+// fixed 8-byte int64 keys and values and address the daemon's default
+// map. The v2 ops carry length-prefixed byte-string keys and values
+// and a namespace id: one daemon hosts many named byte-string maps
+// (NewStringSharded under the hood), created and dropped at runtime or
+// pinned at boot (skiphashd -ns / -ns-root), each durable namespace
+// with its own WAL directory and fsync policy that survive restarts.
+// The encoding is canonical — any frame the parser accepts re-encodes
+// byte-identically, fuzz-enforced — and malformed input is always a
+// connection-tearing ProtocolError, never a misdecoded message.
+// Per-namespace connection and coalescing quotas answer over-quota
+// requests with a busy status per request rather than tearing the
+// connection; the client surfaces namespace admin failures as
+// ErrNamespaceNotFound/ErrNamespaceExists, errors.Is-matchable across
+// the wire like every other sentinel.
+//
 // A durable daemon can additionally replicate: internal/repl streams
 // the commit-stamp-ordered WAL to live replicas that apply records
 // through the recovery replay rules and serve read-only traffic at an
@@ -211,6 +227,41 @@ func NewInt64[V any](cfg Config) *Map[int64, V] {
 // Hash64 is a strong mixer for integer keys, exported for callers
 // building custom key types on top of int64 identities.
 func Hash64(k int64) uint64 { return thashmap.Hash64(k) }
+
+// HashString hashes a string key: FNV-1a over the bytes followed by a
+// splitmix64-style finalizer, so both the top bits (shard routing) and
+// the low bits (bucket selection) are well mixed even for short or
+// shared-prefix keys.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewString creates a skip hash with string keys in lexicographic
+// (byte-wise) order — the key type of the serving layer's byte-string
+// namespaces, where []byte keys cross the wire and are stored as
+// immutable strings.
+func NewString[V any](cfg Config) *Map[string, V] {
+	return core.New[string, V](func(a, b string) bool { return a < b }, HashString, cfg)
+}
+
+// NewStringSharded creates a sharded skip hash with string keys.
+func NewStringSharded[V any](cfg Config) *Sharded[string, V] {
+	return shard.New[string, V](func(a, b string) bool { return a < b }, HashString, cfg)
+}
 
 // Sharded is a concurrent ordered map hash-partitioned across
 // Config.Shards independent skip hashes. See the package documentation
