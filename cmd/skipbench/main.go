@@ -23,6 +23,9 @@
 //	-threads list comma-separated thread counts (default: host-scaled sweep)
 //	-csv file     append machine-readable rows to file
 //	-json file    write per-workload throughput/abort-rate rows as JSON
+//	-metrics-out file
+//	              dump the run's obs metrics registry as JSON, rewritten
+//	              after each experiment series completes
 //	-quick        smoke-test mode (200ms trials, 2^16 universe)
 //	-windows n    measurement windows for the churn experiment (default 6)
 //	-dir path     base directory for the persist experiment's WAL dirs
@@ -33,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -61,6 +66,7 @@ func main() {
 		quick    = fs.Bool("quick", false, "smoke-test mode")
 		seed     = fs.Uint64("seed", 0, "base seed for prefill and worker RNG streams")
 		windows  = fs.Int("windows", 6, "measurement windows for the churn experiment")
+		metOut   = fs.String("metrics-out", "", "dump the run's metrics registry as JSON to this file (rewritten after each series)")
 		dir      = fs.String("dir", "", "base directory for the persist experiment's WAL dirs")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -100,6 +106,18 @@ func main() {
 	if *jsonPath != "" {
 		opts.Report = &bench.Report{}
 	}
+	// flushMetrics rewrites the metrics dump; called after every series
+	// so a long "all" run leaves usable output behind even when a later
+	// experiment fails.
+	flushMetrics := func() {}
+	if *metOut != "" {
+		opts.Metrics = obs.NewRegistry()
+		flushMetrics = func() {
+			if werr := writeMetrics(opts.Metrics, *metOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "skipbench: metrics dump:", werr)
+			}
+		}
+	}
 
 	var err error
 	switch cmd {
@@ -126,38 +144,47 @@ func main() {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
 				break
 			}
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Fig6(os.Stdout, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Table1(os.Stdout, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Shards(os.Stdout, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Churn(os.Stdout, *windows, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Persist(os.Stdout, *dir, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Net(os.Stdout, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.ReadBench(os.Stdout, opts)
+			flushMetrics()
 			fmt.Println()
 		}
 		if err == nil {
 			err = bench.Repl(os.Stdout, opts)
+			flushMetrics()
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -167,6 +194,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	flushMetrics()
 	if opts.Report != nil {
 		// Best-effort even when an experiment failed: rows collected
 		// before the failure are still worth keeping (the CSV path
@@ -179,6 +207,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "skipbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the registry's flattened samples as indented JSON.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(struct {
+		Samples []obs.Sample `json:"samples"`
+	}{Samples: reg.Samples()})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func writeReport(r *bench.Report, path string) error {

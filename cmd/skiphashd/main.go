@@ -12,10 +12,18 @@
 // in-flight pipelined requests (bounded by -drain-timeout), quiesces
 // the map's removal buffers, syncs the WAL, and closes the map.
 //
-// Observability: -stats-every logs per-interval STM counter deltas
-// (commits, aborts, optimistic read hits and fallbacks); -pprof serves
-// net/http/pprof on a loopback address for live CPU/heap profiling of
-// the drain loop.
+// Observability: every subsystem reports into one metrics registry
+// (internal/obs) rendered in Prometheus text exposition — STM commits,
+// aborts by reason and commit latency; reclamation drains; WAL fsync
+// latency and group-commit batch sizes; per-namespace request latency;
+// replication lag. -metrics serves /metrics and /debug/slowops on a
+// loopback address, and the same handlers ride the -pprof mux; clients
+// can fetch the exposition in-band with the Stats wire op.
+// -trace-slow-ms arms a slow-op ring tracer (0 traces everything,
+// dumped over HTTP and into the log on drain). -stats-every logs
+// per-interval registry deltas and a final line on graceful drain;
+// -pprof serves net/http/pprof on a loopback address for live CPU/heap
+// profiling of the drain loop.
 //
 // Namespaces: one daemon hosts many named byte-string maps alongside
 // the default int64 map. -ns name, -ns name=dir, and -ns name=dir:fsync
@@ -49,7 +57,8 @@
 //	          [-ns-max-conns n] [-ns-max-batch n]
 //	          [-replicate-addr host:port | -follow host:port]
 //	          [-max-conns n] [-max-batch n] [-write-timeout d] [-idle-timeout d]
-//	          [-drain-timeout d] [-stats-every d] [-pprof host:port] [-quiet]
+//	          [-drain-timeout d] [-stats-every d] [-quiet]
+//	          [-metrics host:port] [-trace-slow-ms n] [-pprof host:port]
 package main
 
 import (
@@ -67,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -98,7 +108,9 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client response deadline")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
-		statsEvery   = flag.Duration("stats-every", time.Minute, "STM stats log period (0 disables)")
+		statsEvery   = flag.Duration("stats-every", time.Minute, "metrics-delta stats log period (0 disables)")
+		metricsAddr  = flag.String("metrics", "", "serve /metrics and /debug/slowops on this loopback address (empty disables; both also ride -pprof)")
+		traceSlowMs  = flag.Int64("trace-slow-ms", -1, "trace requests at or above this many milliseconds (0 traces everything, negative disables)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (empty disables)")
 		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	)
@@ -196,11 +208,21 @@ func main() {
 		}
 	}
 
+	obsReg := buildRegistry(m, rep, prim)
+	var tracer *obs.Tracer
+	if *traceSlowMs >= 0 {
+		tracer = obs.NewTracer(256)
+		tracer.SetThreshold(time.Duration(*traceSlowMs) * time.Millisecond)
+	}
+
 	srvCfg := server.Config{
 		MaxConns:     *maxConns,
 		MaxBatch:     *maxBatch,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
+		Obs:          obsReg,
+		Tracer:       tracer,
+		AbortsFn:     func() uint64 { return m.STMStats().Aborts },
 	}
 	if !*quiet {
 		srvCfg.Logf = log.Printf
@@ -214,6 +236,7 @@ func main() {
 			Durability: skiphash.Durability{Fsync: cfgFsyncPolicy(*fsync), FsyncEvery: *fsyncEvery},
 			MaxConns:   *nsMaxConns,
 			MaxBatch:   *nsMaxBatch,
+			Obs:        obsReg,
 		})
 		if err != nil {
 			log.Fatalf("skiphashd: namespace registry: %v", err)
@@ -236,6 +259,32 @@ func main() {
 	srv := server.NewWithRegistry(be, reg, srvCfg)
 	srv.SetDefaultDurable(*dir != "")
 
+	// The metrics handlers ride the pprof DefaultServeMux and, with
+	// -metrics, a dedicated loopback listener of their own.
+	http.Handle("/metrics", obsReg)
+	if tracer != nil {
+		http.Handle("/debug/slowops", tracer)
+	}
+	if *metricsAddr != "" {
+		if !loopbackAddr(*metricsAddr) {
+			log.Fatalf("skiphashd: -metrics %q is not a loopback address", *metricsAddr)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obsReg)
+		if tracer != nil {
+			mux.Handle("/debug/slowops", tracer)
+		}
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("skiphashd: metrics listen %s: %v", *metricsAddr, err)
+		}
+		log.Printf("skiphashd: metrics on http://%s/metrics", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("skiphashd: metrics server: %v", err)
+			}
+		}()
+	}
 	if *pprofAddr != "" {
 		if !loopbackAddr(*pprofAddr) {
 			log.Fatalf("skiphashd: -pprof %q is not a loopback address", *pprofAddr)
@@ -255,7 +304,7 @@ func main() {
 
 	statsDone := make(chan struct{})
 	if *statsEvery > 0 {
-		go logStats(m, *statsEvery, statsDone)
+		go logStats(obsReg, *statsEvery, statsDone)
 	} else {
 		close(statsDone)
 	}
@@ -337,6 +386,13 @@ func main() {
 				}
 			}
 		}
+	}
+	// The final stats line runs after teardown so it includes drain-time
+	// work (final sync, close-path reclamation, any ErrSyncRaced races
+	// surfacing as skiphash_persist_late_syncs_total).
+	logFinalStats(obsReg)
+	if tracer != nil && tracer.Total() > 0 {
+		log.Printf("skiphashd: slow ops (%d traced):\n%s", tracer.Total(), tracer.String())
 	}
 	log.Printf("skiphashd: bye")
 	os.Exit(exit)
@@ -428,25 +484,4 @@ func loopbackAddr(addr string) bool {
 	}
 	ip := net.ParseIP(strings.Trim(host, "[]"))
 	return ip != nil && ip.IsLoopback()
-}
-
-// logStats periodically logs STM counter deltas — commit/abort volume
-// and the optimistic read fast path's hit/fallback split — until done
-// is closed.
-func logStats(m *skiphash.Sharded[int64, int64], every time.Duration, done <-chan struct{}) {
-	t := time.NewTicker(every)
-	defer t.Stop()
-	prev := m.STMStats()
-	for {
-		select {
-		case <-done:
-			return
-		case <-t.C:
-		}
-		cur := m.STMStats()
-		d := cur.Sub(prev)
-		prev = cur
-		log.Printf("skiphashd: stats (%v): commits=%d aborts=%d ro-commits=%d fast-read-hits=%d fast-read-fallbacks=%d",
-			every, d.Commits, d.Aborts, d.ReadOnlyCommits, d.FastReadHits, d.FastReadFallbacks)
-	}
 }

@@ -58,7 +58,7 @@
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
-//	           [-net] [-namespaces n] [-replica] [-readheavy]
+//	           [-net] [-namespaces n] [-replica] [-readheavy] [-metrics-dump]
 //
 // -readheavy skews the -check/-net workload to 80% point lookups, the
 // mix that keeps the optimistic read fast path hot while concurrent
@@ -79,6 +79,8 @@ import (
 
 	"repro/internal/linearize"
 	"repro/internal/maptest"
+	"repro/internal/obs"
+	"repro/internal/stm"
 	"repro/skiphash"
 )
 
@@ -160,6 +162,7 @@ func main() {
 		cycles    = flag.Int("cycles", 60, "kill/recover cycles for -crash")
 		dir       = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
 		readHeavy = flag.Bool("readheavy", false, "80% point-lookup mix for -check/-net (drives the read fast path)")
+		metrics   = flag.Bool("metrics-dump", false, "print the map's counters as a Prometheus exposition at end of run (in-process modes)")
 	)
 	flag.Parse()
 
@@ -236,6 +239,9 @@ func main() {
 		checkable = checkAdapter{um}
 	}
 
+	if *metrics {
+		defer dumpMetrics(m)
+	}
 	if *check {
 		runCheck(checkable, m, *threads, *duration, *seed, *isolated, lookupPct, variant, reproducer)
 		return
@@ -572,4 +578,55 @@ func (a shardedCheckAdapter) Batch(steps []linearize.Step) bool {
 		linearize.ApplySteps(steps, op.Insert, op.Remove, op.Lookup)
 		return nil
 	}) == nil
+}
+
+// dumpMetrics renders the map's counters as a Prometheus text
+// exposition on stderr after a run (in-process modes; failure paths
+// exit before the deferred dump runs — the counters matter when the
+// run passed). It builds the registry at dump time from the same
+// Stats() accessors the daemon exposes, so a stress run and a served
+// run read identically.
+func dumpMetrics(m stressMap) {
+	reg := obs.NewRegistry()
+	var st stm.Stats
+	switch v := m.(type) {
+	case interface{ STMStats() stm.Stats }: // sharded (aggregates isolated runtimes)
+		st = v.STMStats()
+	case interface{ Runtime() *stm.Runtime }: // unsharded
+		st = v.Runtime().Stats()
+	}
+	{
+		reg.CounterFunc("skiphash_stm_commits_total", "Committed transactions.",
+			func() uint64 { return st.Commits })
+		reg.CounterFunc("skiphash_stm_readonly_commits_total", "Committed read-only transactions.",
+			func() uint64 { return st.ReadOnlyCommits })
+		reg.CounterFunc("skiphash_stm_aborts_total", "Rolled-back attempts by reason.",
+			func() uint64 { return st.AbortsValidate }, obs.Label{Key: "reason", Value: "validate"})
+		reg.CounterFunc("skiphash_stm_aborts_total", "Rolled-back attempts by reason.",
+			func() uint64 { return st.AbortsAcquire }, obs.Label{Key: "reason", Value: "acquire"})
+		reg.CounterFunc("skiphash_stm_aborts_total", "Rolled-back attempts by reason.",
+			func() uint64 { return st.AbortsInjected }, obs.Label{Key: "reason", Value: "injected"})
+		reg.CounterFunc("skiphash_stm_backoff_nanoseconds_total", "Wall time spent in contention backoff.",
+			func() uint64 { return st.BackoffNanos })
+		reg.CounterFunc("skiphash_stm_fastread_hits_total", "Optimistic fast-path read hits.",
+			func() uint64 { return st.FastReadHits })
+		reg.CounterFunc("skiphash_stm_fastread_fallbacks_total", "Fast-path reads that fell back to a transaction.",
+			func() uint64 { return st.FastReadFallbacks })
+	}
+	ms := m.MaintenanceStats()
+	reg.CounterFunc("skiphash_core_orphaned_total", "Nodes handed to the orphan queues.",
+		func() uint64 { return ms.Orphaned })
+	reg.CounterFunc("skiphash_core_adopted_total", "Orphaned nodes adopted for reclamation.",
+		func() uint64 { return ms.Adopted })
+	reg.CounterFunc("skiphash_core_drained_nodes_total", "Logically deleted nodes unstitched.",
+		func() uint64 { return ms.DrainedNodes })
+	rs := m.RangeStats()
+	reg.CounterFunc("skiphash_core_range_fast_attempts_total", "Fast-path range attempts.",
+		func() uint64 { return rs.FastAttempts })
+	reg.CounterFunc("skiphash_core_range_fast_aborts_total", "Fast-path range aborts.",
+		func() uint64 { return rs.FastAborts })
+	reg.CounterFunc("skiphash_core_range_slow_commits_total", "Slow-path range commits.",
+		func() uint64 { return rs.SlowCommits })
+	fmt.Fprintln(os.Stderr, "skipstress: end-of-run metrics:")
+	reg.WriteTo(os.Stderr)
 }

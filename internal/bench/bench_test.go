@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func tinyOptions() Options {
@@ -128,5 +130,47 @@ func TestWorkloadDefaults(t *testing.T) {
 	w := Workload{}.withDefaults()
 	if w.Universe != 1_000_000 || w.RangeLen != 100 {
 		t.Errorf("defaults = %+v", w)
+	}
+}
+
+// TestMetricsRegistryMatchesRows cross-checks the two reporting paths:
+// the obs registry a run banks into must agree exactly with the sums
+// over the JSON rows, since both are filled from the same deltas.
+func TestMetricsRegistryMatchesRows(t *testing.T) {
+	var out bytes.Buffer
+	opts := tinyOptions()
+	opts.Report = &Report{}
+	opts.Metrics = obs.NewRegistry()
+	if err := Fig5(&out, "d", opts); err != nil {
+		t.Fatal(err)
+	}
+	rows := opts.Report.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no rows reported")
+	}
+	var commits, aborts, fastHits uint64
+	for _, r := range rows {
+		commits += r.Commits
+		aborts += r.Aborts
+		fastHits += r.FastReadHits
+	}
+	got := map[string]float64{}
+	for _, s := range opts.Metrics.Samples() {
+		got[s.Name] = s.Value
+	}
+	if got["skipbench_rows_total"] != float64(len(rows)) {
+		t.Errorf("registry rows = %v, report has %d", got["skipbench_rows_total"], len(rows))
+	}
+	if got["skipbench_commits_total"] != float64(commits) {
+		t.Errorf("registry commits = %v, rows sum to %d", got["skipbench_commits_total"], commits)
+	}
+	if got["skipbench_aborts_total"] != float64(aborts) {
+		t.Errorf("registry aborts = %v, rows sum to %d", got["skipbench_aborts_total"], aborts)
+	}
+	if got["skipbench_fastread_hits_total"] != float64(fastHits) {
+		t.Errorf("registry fast-read hits = %v, rows sum to %d", got["skipbench_fastread_hits_total"], fastHits)
+	}
+	if commits == 0 {
+		t.Error("measured window recorded zero commits")
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options control the experiment drivers.
@@ -27,6 +29,11 @@ type Options struct {
 	// one seed measure identical key sequences (and different seeds
 	// vary them deliberately). Zero keeps the historical streams.
 	Seed uint64
+	// Metrics, when non-nil, accumulates every reported row's counter
+	// deltas into obs counters (skipbench_commits_total and friends),
+	// so a bench run can be cross-checked against — and dumped in the
+	// same exposition format as — the daemon's registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +130,7 @@ func Fig5(w io.Writer, letter string, opts Options) error {
 			if opts.Report != nil {
 				row := Row{Experiment: "fig5" + letter, Workload: wl.Name, Map: mf.Name, Threads: threads,
 					Universe: wl.Universe, Mops: res.Mops()}
-				fillSubjectStats(&row, m, stmBefore, rqBefore)
+				fillSubjectStats(&row, m, stmBefore, rqBefore, opts.Metrics)
 				opts.Report.Add(row)
 			}
 		}
@@ -179,7 +186,7 @@ func Fig6(w io.Writer, opts Options) error {
 			if opts.Report != nil {
 				row := Row{Experiment: "fig6", Map: mf.Name, Threads: 2 * half, RangeLen: ln,
 					Universe: opts.Universe, UpdateMops: res.UpdateMops(), RangeMpairs: res.RangePairsPerSec() / 1e6}
-				fillSubjectStats(&row, m, stmBefore, rqBefore)
+				fillSubjectStats(&row, m, stmBefore, rqBefore, opts.Metrics)
 				opts.Report.Add(row)
 			}
 		}
@@ -298,7 +305,7 @@ func Shards(w io.Writer, opts Options) error {
 			res := RunTrials(m, wl, rc)
 			row := Row{Experiment: "shards", Workload: wl.Name, Map: m.Name(), Threads: threads,
 				Shards: shards, Universe: wl.Universe, Mops: res.Mops()}
-			fillSubjectStats(&row, m, stmBefore, rqBefore)
+			fillSubjectStats(&row, m, stmBefore, rqBefore, opts.Metrics)
 			fmt.Fprintf(w, "%-26s %-10s %12.2f %12.4f\n", wl.Name, label, res.Mops(), row.AbortRate)
 			if opts.CSV != nil {
 				// The workload name contains a comma; quote the field.

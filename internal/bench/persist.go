@@ -150,7 +150,7 @@ func Persist(w io.Writer, baseDir string, opts Options) error {
 		if opts.Report != nil {
 			row := Row{Experiment: "persist", Workload: wl.Name, Map: m.Name(), Threads: threads,
 				Universe: wl.Universe, Mops: mops, Fsync: sub.label, WalMB: walMB, OverheadPct: overhead}
-			fillSubjectStats(&row, m, stmBefore, rqBefore)
+			fillSubjectStats(&row, m, stmBefore, rqBefore, opts.Metrics)
 			opts.Report.Add(row)
 		}
 		cleanup()

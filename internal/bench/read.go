@@ -54,7 +54,7 @@ func ReadBench(w io.Writer, opts Options) error {
 				res := RunTrials(m, wl, rc)
 				row := Row{Experiment: "read", Workload: wl.Name, Map: mf.Name, Threads: threads,
 					Universe: wl.Universe, Mops: res.Mops()}
-				fillSubjectStats(&row, m, stmBefore, rqBefore)
+				fillSubjectStats(&row, m, stmBefore, rqBefore, opts.Metrics)
 				fmt.Fprintf(w, " %24.2f", res.Mops())
 				if total := row.FastReadHits + row.FastReadFallbacks; total > 0 {
 					hitRate = float64(row.FastReadHits) / float64(total)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stm"
 
 	"repro/skiphash"
@@ -153,8 +154,11 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // fillSubjectStats decorates row with the subject's identity (the
 // constructed map's name — which, unlike the factory label, carries the
 // resolved shard count — plus the shard count itself) and its STM and
-// range-path counters relative to the pre-run snapshots.
-func fillSubjectStats(row *Row, m Map, stmBefore stm.Stats, rqBefore skiphash.RangeStats) {
+// range-path counters relative to the pre-run snapshots. A non-nil reg
+// additionally banks the same deltas into run-wide obs counters
+// (registration is idempotent, so banking at fill time needs no
+// setup), keeping the registry and the rows trivially cross-checkable.
+func fillSubjectStats(row *Row, m Map, stmBefore stm.Stats, rqBefore skiphash.RangeStats, reg *obs.Registry) {
 	row.Map = m.Name()
 	if ns, ok := m.(interface{ NumShards() int }); ok {
 		row.Shards = ns.NumShards()
@@ -174,6 +178,30 @@ func fillSubjectStats(row *Row, m Map, stmBefore stm.Stats, rqBefore skiphash.Ra
 		row.FastCommits = d.FastCommits
 		row.SlowCommits = d.SlowCommits
 		row.FastAborts = d.FastAborts
+	}
+	if reg != nil {
+		bankRow(reg, row)
+	}
+}
+
+// bankRow adds one row's measured deltas to the run-wide registry: by
+// construction the registry totals always equal the sums over every
+// row reported so far.
+func bankRow(reg *obs.Registry, row *Row) {
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"skipbench_rows_total", "Data-point rows reported.", 1},
+		{"skipbench_commits_total", "STM commits across measured windows.", row.Commits},
+		{"skipbench_aborts_total", "STM aborts across measured windows.", row.Aborts},
+		{"skipbench_fastread_hits_total", "Optimistic fast-path read hits.", row.FastReadHits},
+		{"skipbench_fastread_fallbacks_total", "Fast-path reads that fell back.", row.FastReadFallbacks},
+		{"skipbench_range_fast_commits_total", "Fast-path range commits.", row.FastCommits},
+		{"skipbench_range_slow_commits_total", "Slow-path range commits.", row.SlowCommits},
+		{"skipbench_range_fast_aborts_total", "Fast-path range aborts.", row.FastAborts},
+	} {
+		reg.Counter(c.name, c.help).Add(c.v)
 	}
 }
 

@@ -160,7 +160,12 @@ type Map[K comparable, V any] struct {
 
 	maint      *maintainer[K, V]
 	maintStats maintCounters
-	closed     atomic.Bool
+	// maintObs, when set, receives every orphan-adoption drain's node
+	// count and duration (SetMaintenanceObserver). Core stays free of
+	// metrics dependencies; the observer is a plain func the embedding
+	// layer points at its histogram.
+	maintObs atomic.Pointer[func(nodes int, d time.Duration)]
+	closed   atomic.Bool
 	// closeDone lets concurrent Close calls (and anyone who must know
 	// teardown finished) wait for the one closing goroutine; with
 	// durability attached, "Close returned" must mean "flushed".

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension, rendered as {key="value"}.
+type Label struct {
+	Key, Value string
+}
+
+// Kind distinguishes metric families for consumers that aggregate
+// samples (log-line deltas treat counters and gauges differently).
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// child is one labeled metric of a family; exactly one of the value
+// fields is set, matching the family's kind.
+type child struct {
+	labels  string // pre-rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	cfn     func() uint64
+	gfn     func() float64
+	hist    *Histogram
+}
+
+// family is one metric name with its help text and labeled children.
+type family struct {
+	name, help string
+	kind       Kind
+	children   []*child
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is idempotent: registering an
+// existing name+labels pair returns the existing metric, so lazy
+// call-site registration is safe. Families render in registration
+// order; children in label order.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	byKey map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register finds or creates the family and child slot. It returns the
+// existing child when the name+labels pair is already present (the
+// caller must tolerate its own metric type there).
+func (r *Registry) register(name, help string, kind Kind, labels []Label) (*child, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byKey[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byKey[name] = f
+		r.fams = append(r.fams, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	ls := renderLabels(labels)
+	for _, c := range f.children {
+		if c.labels == ls {
+			return c, false
+		}
+	}
+	c := &child{labels: ls}
+	f.children = append(f.children, c)
+	sort.Slice(f.children, func(i, j int) bool { return f.children[i].labels < f.children[j].labels })
+	return c, true
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c, fresh := r.register(name, help, KindCounter, labels)
+	if fresh {
+		c.counter = &Counter{}
+	}
+	if c.counter == nil {
+		panic(fmt.Sprintf("obs: %s%s registered as a func counter", name, c.labels))
+	}
+	return c.counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c, fresh := r.register(name, help, KindGauge, labels)
+	if fresh {
+		c.gauge = &Gauge{}
+	}
+	if c.gauge == nil {
+		panic(fmt.Sprintf("obs: %s%s registered as a func gauge", name, c.labels))
+	}
+	return c.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — the zero-hot-path-cost way to export an existing
+// stats accessor. fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	c, _ := r.register(name, help, KindCounter, labels)
+	c.counter, c.cfn = nil, fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	c, _ := r.register(name, help, KindGauge, labels)
+	c.gauge, c.gfn = nil, fn
+}
+
+// Histogram registers (or finds) a histogram with the given inclusive
+// upper bucket bounds; scale converts stored values to the rendered
+// unit (1e-9 for nanosecond observations rendered as seconds, 1 for
+// sizes).
+func (r *Registry) Histogram(name, help string, bounds []uint64, scale float64, labels ...Label) *Histogram {
+	c, fresh := r.register(name, help, KindHistogram, labels)
+	if fresh {
+		c.hist = newHistogram(bounds, scale)
+	}
+	return c.hist
+}
+
+// Unregister removes the metric with the given name and labels; when
+// the family's last child goes, the family goes too. Dropping a
+// namespace unregisters its per-namespace series this way. It returns
+// whether anything was removed.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byKey[name]
+	if f == nil {
+		return false
+	}
+	ls := renderLabels(labels)
+	for i, c := range f.children {
+		if c.labels == ls {
+			f.children = append(f.children[:i], f.children[i+1:]...)
+			if len(f.children) == 0 {
+				delete(r.byKey, name)
+				for j, g := range r.fams {
+					if g == f {
+						r.fams = append(r.fams[:j], r.fams[j+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		// Children may be unregistered concurrently; snapshot under mu.
+		r.mu.Lock()
+		children := make([]*child, len(f.children))
+		copy(children, f.children)
+		r.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch f.kind {
+			case KindCounter:
+				v := uint64(0)
+				if c.counter != nil {
+					v = c.counter.Value()
+				} else if c.cfn != nil {
+					v = c.cfn()
+				}
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.labels, v)
+			case KindGauge:
+				var v float64
+				if c.gauge != nil {
+					v = float64(c.gauge.Value())
+				} else if c.gfn != nil {
+					v = c.gfn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, c.labels, formatFloat(v))
+			case KindHistogram:
+				writeHistogram(&b, f.name, c.labels, c.hist)
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeHistogram renders one histogram child: cumulative le buckets,
+// +Inf, scaled _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	buckets, sum := h.snapshot()
+	// Splice le="..." into the existing label set.
+	inner := ""
+	if labels != "" {
+		inner = labels[1:len(labels)-1] + ","
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += buckets[i]
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%s\"} %d\n",
+			name, inner, formatFloat(float64(bound)*h.scale), cum)
+	}
+	cum += buckets[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, inner, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(float64(sum)*h.scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// Render returns the full exposition as a byte slice (the STATS2 wire
+// payload).
+func (r *Registry) Render() []byte {
+	var b strings.Builder
+	r.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return []byte(b.String())
+}
+
+// ServeHTTP serves the exposition (the /metrics endpoint).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteTo(w) //nolint:errcheck // nothing to do about a dead client
+}
+
+// Sample is one flattened metric value; histograms flatten to
+// name_count and name_sum counter samples.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+}
+
+// Samples flattens the registry to one value per series, for log-line
+// deltas and JSON dumps.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	var out []Sample
+	for _, f := range fams {
+		r.mu.Lock()
+		children := make([]*child, len(f.children))
+		copy(children, f.children)
+		r.mu.Unlock()
+		for _, c := range children {
+			switch f.kind {
+			case KindCounter:
+				v := uint64(0)
+				if c.counter != nil {
+					v = c.counter.Value()
+				} else if c.cfn != nil {
+					v = c.cfn()
+				}
+				out = append(out, Sample{f.name, c.labels, f.kind.String(), float64(v)})
+			case KindGauge:
+				var v float64
+				if c.gauge != nil {
+					v = float64(c.gauge.Value())
+				} else if c.gfn != nil {
+					v = c.gfn()
+				}
+				out = append(out, Sample{f.name, c.labels, f.kind.String(), v})
+			case KindHistogram:
+				out = append(out,
+					Sample{f.name + "_count", c.labels, "counter", float64(c.hist.Count())},
+					Sample{f.name + "_sum", c.labels, "counter", float64(c.hist.Sum()) * c.hist.scale})
+			}
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -43,6 +44,25 @@ type Store[K comparable, V any] struct {
 	lastSnapErr  error
 	snapshots    uint64
 	snapsEntries uint64
+
+	// instrSnap, when set via Instrument, observes each snapshot
+	// attempt's wall-clock duration in nanoseconds.
+	instrSnap *obs.Histogram
+}
+
+// Instrument installs latency histograms on the engine's slow paths:
+// fsync duration and records-per-flush (observed by the WAL flusher,
+// never on the append path) and snapshot duration. Any histogram may
+// be nil to leave that site uninstrumented. Call before serving
+// traffic; the fields are read under the engine's internal locks.
+func (s *Store[K, V]) Instrument(fsyncLatency, batchRecords, snapDuration *obs.Histogram) {
+	s.w.mu.Lock()
+	s.w.instrFsync = fsyncLatency
+	s.w.instrBatch = batchRecords
+	s.w.mu.Unlock()
+	s.snapMu.Lock()
+	s.instrSnap = snapDuration
+	s.snapMu.Unlock()
 }
 
 // Open recovers a durability directory and returns a store ready to log
@@ -248,6 +268,10 @@ func (s *Store[K, V]) Snapshot() error {
 	defer s.snapMu.Unlock()
 	if s.source == nil {
 		return fmt.Errorf("persist: no snapshot source bound (Start not called)")
+	}
+	if h := s.instrSnap; h != nil {
+		t0 := time.Now()
+		defer h.ObserveSince(t0)
 	}
 	s.w.mu.Lock()
 	dead := s.w.closing || s.w.closed || s.w.crashed

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FsyncPolicy selects how aggressively the WAL is made durable.
@@ -156,6 +158,14 @@ type wal struct {
 	// publish point while the committing transaction holds its orecs.
 	tap func(stamp uint64, count int, ops []byte)
 
+	// Optional instrumentation (see Store.Instrument): fsync latency
+	// and records-per-flush histograms, read under w.mu and observed by
+	// the flusher — never on the append path. bufRecords counts the
+	// records currently buffered, feeding the batch-size histogram.
+	instrFsync *obs.Histogram
+	instrBatch *obs.Histogram
+	bufRecords int
+
 	stats walStats
 }
 
@@ -246,6 +256,7 @@ func (w *wal) appendRecord(stamp uint64, count int, ops []byte) (lsn int64, err 
 	w.stats.records++
 	w.stats.bytes += frameLen
 	w.stats.sinceSnp += frameLen
+	w.bufRecords++
 	if w.tap != nil {
 		w.tap(stamp, count, ops)
 	}
@@ -324,8 +335,11 @@ func (w *wal) flush(sync bool) {
 	chunk := w.buf
 	target := w.appendLSN
 	maxStamp := w.bufMaxStamp
+	batchRecords := w.bufRecords
+	hFsync, hBatch := w.instrFsync, w.instrBatch
 	w.buf = nil
 	w.bufMaxStamp = 0
+	w.bufRecords = 0
 	alreadySynced := w.syncedLSN
 	w.mu.Unlock()
 	var ioErr error
@@ -341,10 +355,20 @@ func (w *wal) flush(sync bool) {
 			if maxStamp > w.active.maxStamp {
 				w.active.maxStamp = maxStamp
 			}
+			if hBatch != nil && batchRecords > 0 {
+				hBatch.Observe(uint64(batchRecords))
+			}
 		}
 	}
 	if ioErr == nil && sync && w.active != nil && target > alreadySynced {
+		var t0 time.Time
+		if hFsync != nil {
+			t0 = time.Now()
+		}
 		ioErr = w.active.f.Sync()
+		if hFsync != nil {
+			hFsync.ObserveSince(t0)
+		}
 	}
 	w.mu.Lock()
 	if ioErr != nil {
@@ -589,6 +613,7 @@ func (w *wal) simulateCrash(dropTail int64) error {
 	w.closing = true
 	w.crashed = true
 	w.buf = nil // lost: never handed to the OS
+	w.bufRecords = 0
 	w.durable.Broadcast()
 	w.mu.Unlock()
 

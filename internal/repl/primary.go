@@ -68,7 +68,31 @@ type Primary struct {
 	lns       map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
+	resyncs   uint64 // full resyncs served to followers
 	wg        sync.WaitGroup
+}
+
+// PrimaryStats is an observability snapshot of the streamer.
+type PrimaryStats struct {
+	// LastSeq is the newest record sequence appended to the ring (0
+	// before the first append); the stream position.
+	LastSeq uint64
+	// Followers counts live follower subscriptions (connections past
+	// their snapshot phase).
+	Followers int
+	// Resyncs counts full resyncs served (snapshot + tail handshakes).
+	Resyncs uint64
+}
+
+// Stats returns the streamer's counters.
+func (p *Primary) Stats() PrimaryStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PrimaryStats{
+		LastSeq:   p.nextSeq - 1,
+		Followers: len(p.subs),
+		Resyncs:   p.resyncs,
+	}
 }
 
 // subscriber wakes one follower sender when records arrive.
@@ -234,6 +258,7 @@ func (p *Primary) sender(nc net.Conn) error {
 	cursor := follow.Seq + 1
 	if full {
 		cursor = p.nextSeq
+		p.resyncs++
 	}
 	p.mu.Unlock()
 

@@ -134,6 +134,15 @@ func TestReplicaCatchUpFromEmptyAndLiveTail(t *testing.T) {
 	if r.Watermark() < w0 {
 		t.Fatalf("watermark regressed: %d -> %d", w0, r.Watermark())
 	}
+	// The live tail arrived as streamed WAL records, and the stamp the
+	// lag gauge subtracts from never trails the applied watermark.
+	rs := r.Stats()
+	if rs.Records == 0 {
+		t.Fatal("replica counted no streamed records after live tail")
+	}
+	if rs.PrimaryStamp < rs.Watermark {
+		t.Fatalf("primary stamp %d behind watermark %d", rs.PrimaryStamp, rs.Watermark)
+	}
 }
 
 func TestReplicaTailReconnect(t *testing.T) {
@@ -170,6 +179,17 @@ func TestReplicaResyncAfterRingEviction(t *testing.T) {
 		h.m.Put(i, i*3)
 	}
 	waitConverge(t, h.m, r)
+
+	// Both ends count the two snapshot passes (initial connect plus the
+	// post-eviction reconnect) and agree on stream position.
+	ps := h.p.Stats()
+	if ps.Resyncs < 2 {
+		t.Fatalf("primary served %d resyncs, want >= 2", ps.Resyncs)
+	}
+	rs := r.Stats()
+	if rs.Resyncs < 2 {
+		t.Fatalf("replica counted %d resyncs, want >= 2", rs.Resyncs)
+	}
 }
 
 func TestEpochChangeForcesFullResync(t *testing.T) {

@@ -51,6 +51,15 @@ type Replica struct {
 	watermark atomic.Uint64
 	promoted  atomic.Bool
 
+	// Observability counters (see Stats). primStamp is the freshest
+	// stamp the primary has advertised, updated at message receipt —
+	// before apply — while watermark advances after, so
+	// primStamp - watermark is the replica's instantaneous lag.
+	records    atomic.Uint64
+	resyncs    atomic.Uint64
+	epochSwaps atomic.Uint64
+	primStamp  atomic.Uint64
+
 	ready     chan struct{}
 	readyOnce sync.Once
 	stopped   chan struct{}
@@ -197,6 +206,10 @@ func (r *Replica) runConn(nc net.Conn) error {
 	if hdr.Full {
 		// Full resync: this primary incarnation (or a tail the ring no
 		// longer holds) invalidates local state wholesale.
+		r.resyncs.Add(1)
+		if r.epoch != 0 && hdr.Epoch != r.epoch {
+			r.epochSwaps.Add(1)
+		}
 		if err := r.clear(); err != nil {
 			return err
 		}
@@ -228,20 +241,63 @@ func (r *Replica) runConn(nc net.Conn) error {
 			if m.Seq != r.lastSeq+1 {
 				return fmt.Errorf("record seq %d after %d", m.Seq, r.lastSeq)
 			}
+			r.raisePrimStamp(m.Stamp)
 			if err := r.applyRecord(&m); err != nil {
 				return err
 			}
+			r.records.Add(1)
 			r.lastSeq = m.Seq
 			r.advance(m.Stamp)
 		case wire.OpCaughtUp:
+			r.raisePrimStamp(m.Stamp)
 			r.catchup = nil
 			r.advance(m.Stamp)
 			r.readyOnce.Do(func() { close(r.ready) })
 		case wire.OpHeartbeat:
+			r.raisePrimStamp(m.Stamp)
 			r.advance(m.Stamp)
 		default:
 			return fmt.Errorf("unexpected %s on replication stream", m.Op)
 		}
+	}
+}
+
+// raisePrimStamp lifts the last-advertised primary stamp to s.
+func (r *Replica) raisePrimStamp(s uint64) {
+	for {
+		cur := r.primStamp.Load()
+		if s <= cur || r.primStamp.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// ReplicaStats is an observability snapshot of the follower.
+type ReplicaStats struct {
+	// Records counts WAL records applied since start.
+	Records uint64
+	// Resyncs counts full resyncs (snapshot + tail), including the
+	// initial sync.
+	Resyncs uint64
+	// EpochChanges counts primary-incarnation changes observed (a
+	// resync against a different epoch than the last one followed).
+	EpochChanges uint64
+	// PrimaryStamp is the freshest commit stamp the primary advertised;
+	// Watermark the stamp applied locally. PrimaryStamp - Watermark is
+	// the instantaneous replication lag in stamp units.
+	PrimaryStamp uint64
+	Watermark    uint64
+}
+
+// Stats returns the follower's counters; safe concurrent with the
+// stream.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{
+		Records:      r.records.Load(),
+		Resyncs:      r.resyncs.Load(),
+		EpochChanges: r.epochSwaps.Load(),
+		PrimaryStamp: r.primStamp.Load(),
+		Watermark:    r.watermark.Load(),
 	}
 }
 

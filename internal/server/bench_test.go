@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"io"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/skiphash"
 )
@@ -44,6 +46,49 @@ func BenchmarkDrainCycleGets(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.execute(batch)
+	}
+}
+
+// BenchmarkDrainCycleGetsMetrics is BenchmarkDrainCycleGets with the
+// full observability stack enabled (registry, histograms, armed
+// tracer): the delta against the plain benchmark is the metrics cost,
+// and the allocation budget stays zero.
+func BenchmarkDrainCycleGetsMetrics(b *testing.B) {
+	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{Shards: 1}, skiphash.Int64Codec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	tr.SetThreshold(time.Hour) // armed, never matched
+	srv := New(NewShardedBackend(m), Config{Obs: reg, Tracer: tr})
+	c := &conn{
+		srv:   srv,
+		bw:    bufio.NewWriterSize(io.Discard, 64<<10),
+		resps: make([]wire.Response, srv.cfg.MaxBatch),
+		track: true,
+	}
+	c.arrivals = make([]time.Time, 0, srv.cfg.MaxBatch)
+	c.paths = make([]uint8, srv.cfg.MaxBatch)
+	c.nsAt = make([]*namespace, srv.cfg.MaxBatch)
+	for k := int64(0); k < 1024; k++ {
+		m.Insert(k, k)
+	}
+	batch := make([]wire.Request, 64)
+	for i := range batch {
+		batch[i] = wire.Request{ID: uint64(i), Op: wire.OpGet, Key: int64(i) % 1024}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.arrivals = c.arrivals[:0]
+		now := time.Now()
+		for range batch {
+			c.arrivals = append(c.arrivals, now)
+		}
+		c.execute(batch)
+		c.observe(batch)
 	}
 }
 

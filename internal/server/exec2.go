@@ -42,6 +42,9 @@ func (c *conn) resolveNS(id uint32) (*namespace, wire.Status, string) {
 	}
 	if _, ok := c.attached[ns]; !ok {
 		if !ns.attach(c) {
+			if m := c.srv.met; m != nil {
+				m.busyNS.Inc()
+			}
 			return nil, wire.StatusBusy,
 				fmt.Sprintf("namespace %q connection limit %d reached", ns.name, ns.maxConns)
 		}
@@ -104,9 +107,11 @@ func (c *conn) execRunV2(batch []wire.Request, i int) int {
 		for j < len(batch) && j-i < maxRun && batch[j].Op == wire.OpGet2 && batch[j].NS == req.NS {
 			j++
 		}
+		c.markRun(i, j, pathReads, ns)
 		c.prefetchNext2(be, req.NS, batch, j)
 		c.execReads2(be, batch[i:j])
 	} else {
+		c.markRun(i, j, pathAtomic, ns)
 		c.prefetchNext2(be, req.NS, batch, j)
 		c.execAtomic2(be, batch[i:j])
 	}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Server-side observability. Everything here is additive and stays off
+// the data path's shared-write side: instruments are striped atomics,
+// per-request annotations live in conn-local scratch, and the tracer
+// takes its mutex only for ops that are already slow. With Config.Obs
+// and Config.Tracer unset the per-request cost is a nil check.
+
+// Execution-path markers for per-request annotations (conn.paths). The
+// zero value is standalone so unannotated requests (admin ops, runs
+// that failed namespace resolution) report truthfully.
+const (
+	pathStandalone uint8 = iota
+	pathReads
+	pathAtomic
+)
+
+// pathName renders a path marker for trace entries.
+func pathName(p uint8) string {
+	switch p {
+	case pathReads:
+		return "reads"
+	case pathAtomic:
+		return "atomic"
+	}
+	return "standalone"
+}
+
+// reqLatencyName is the per-namespace request latency family; the
+// default (v1) namespace registers under ns="default" here and named
+// namespaces under their own ns label (see Registry.create).
+const (
+	reqLatencyName = "skiphash_server_request_seconds"
+	reqLatencyHelp = "Request latency from frame arrival to response flush, by namespace."
+	busyName       = "skiphash_server_busy_refusals_total"
+	busyHelp       = "Requests or connections refused with StatusBusy, by reason."
+)
+
+// metrics holds the server's registered instruments; nil when
+// Config.Obs is unset.
+type metrics struct {
+	requests   *obs.Counter
+	runSize    *obs.Histogram
+	reqDefault *obs.Histogram
+	busyConns  *obs.Counter
+	busyNS     *obs.Counter
+}
+
+// newMetrics registers the server's instruments on r. Registration is
+// idempotent, so two servers sharing a registry share the counters.
+func newMetrics(s *Server, r *obs.Registry) *metrics {
+	m := &metrics{
+		requests: r.Counter("skiphash_server_requests_total",
+			"Requests executed, all ops and namespaces."),
+		runSize: r.Histogram("skiphash_server_run_size",
+			"Requests absorbed by one coalesced executor run.", obs.SizeBounds, 1),
+		reqDefault: r.Histogram(reqLatencyName, reqLatencyHelp,
+			obs.LatencyBounds, 1e-9, obs.Label{Key: "ns", Value: "default"}),
+		busyConns: r.Counter(busyName, busyHelp,
+			obs.Label{Key: "reason", Value: "conn_limit"}),
+		busyNS: r.Counter(busyName, busyHelp,
+			obs.Label{Key: "reason", Value: "ns_quota"}),
+	}
+	r.GaugeFunc("skiphash_server_connections",
+		"Connections currently served.",
+		func() float64 { return float64(s.NumConns()) })
+	r.GaugeFunc("skiphash_server_queue_depth",
+		"Requests decoded but not yet executing, summed over connections.",
+		func() float64 {
+			s.mu.Lock()
+			n := 0
+			for c := range s.conns {
+				n += len(c.reqs)
+			}
+			s.mu.Unlock()
+			return float64(n)
+		})
+	return m
+}
+
+// markRun annotates one coalesced run's requests with their execution
+// path and namespace, and banks the run size. Conn-local; no shared
+// writes beyond the striped histogram.
+func (c *conn) markRun(i, j int, path uint8, ns *namespace) {
+	if !c.track {
+		return
+	}
+	for k := i; k < j; k++ {
+		c.paths[k] = path
+		c.nsAt[k] = ns
+	}
+	if m := c.srv.met; m != nil {
+		m.runSize.Observe(uint64(j - i))
+	}
+}
+
+// observe banks the cycle's per-request latencies and feeds the slow-op
+// tracer. Called once per drain cycle after the flush, only when the
+// connection tracks timings (metrics or tracer attached).
+func (c *conn) observe(batch []wire.Request) {
+	m := c.srv.met
+	tr := c.srv.cfg.Tracer
+	now := time.Now()
+	traceActive := tr != nil && tr.Enabled()
+	var abortDelta uint64
+	if traceActive && c.srv.cfg.AbortsFn != nil {
+		abortDelta = c.srv.cfg.AbortsFn() - c.abortsBefore
+	}
+	if m != nil {
+		m.requests.Add(uint64(len(batch)))
+	}
+	for i := range batch {
+		d := now.Sub(c.arrivals[i])
+		ns := c.nsAt[i]
+		var h *obs.Histogram
+		if ns != nil && ns.reqLatency != nil {
+			h = ns.reqLatency
+		} else if m != nil {
+			h = m.reqDefault
+		}
+		if h != nil {
+			h.ObserveNanos(int64(d))
+		}
+		if traceActive && tr.Slow(d) {
+			req := &batch[i]
+			nsName := "default"
+			if ns != nil {
+				nsName = ns.name
+			}
+			tr.Record(obs.TraceEntry{
+				UnixNanos: now.UnixNano(),
+				Op:        req.Op.String(),
+				Namespace: nsName,
+				Path:      pathName(c.paths[i]),
+				KeyHash:   reqKeyHash(req),
+				Duration:  d,
+				Aborts:    abortDelta,
+			})
+		}
+	}
+}
+
+// reqKeyHash fingerprints the request's (first) key without retaining
+// it; 0 for keyless ops.
+func reqKeyHash(req *wire.Request) uint64 {
+	switch req.Op {
+	case wire.OpGet, wire.OpInsert, wire.OpPut, wire.OpDel, wire.OpRange:
+		return mixKey(req.Key)
+	case wire.OpBatch:
+		if len(req.Steps) > 0 {
+			return mixKey(req.Steps[0].Key)
+		}
+	case wire.OpGet2, wire.OpInsert2, wire.OpPut2, wire.OpDel2, wire.OpRange2:
+		return obs.HashBytes(req.BKey)
+	case wire.OpBatch2:
+		if len(req.BSteps) > 0 {
+			return obs.HashBytes(req.BSteps[0].Key)
+		}
+	}
+	return 0
+}
+
+// mixKey fingerprints an int64 key (Fibonacci hash + xor-fold).
+func mixKey(k int64) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	return x ^ x>>29
+}

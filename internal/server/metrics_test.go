@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/skiphash"
+	"repro/skiphash/client"
+)
+
+// scrape fetches url and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestMetricsScrapeAndNamespaceLifecycle drives client traffic against a
+// metrics-enabled server and asserts over a real HTTP scrape: the
+// default namespace's latency series counts requests, a created
+// namespace's series appears, and dropping the namespace removes it.
+func TestMetricsScrapeAndNamespaceLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr := startNsServer(t,
+		RegistryConfig{Obs: reg},
+		Config{Obs: reg})
+	ms := httptest.NewServer(reg)
+	defer ms.Close()
+
+	c := dialT(t, addr, client.Options{})
+	for k := int64(0); k < 32; k++ {
+		if _, err := c.Put(k, k); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if _, _, err := c.Get(k); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+
+	body := scrape(t, ms.URL)
+	if !strings.Contains(body, `skiphash_server_request_seconds_count{ns="default"}`) {
+		t.Fatalf("default namespace latency series missing:\n%s", body)
+	}
+	if !strings.Contains(body, "skiphash_server_requests_total") {
+		t.Fatalf("request counter missing:\n%s", body)
+	}
+	if strings.Contains(body, `skiphash_server_requests_total 0`+"\n") {
+		t.Fatalf("request counter still zero after traffic:\n%s", body)
+	}
+
+	// A created namespace's series appears immediately (registered at
+	// create, not on first traffic)...
+	ns, err := c.CreateNamespace("orders", client.NamespaceOptions{})
+	if err != nil {
+		t.Fatalf("CreateNamespace: %v", err)
+	}
+	if !strings.Contains(scrape(t, ms.URL), `skiphash_server_request_seconds_count{ns="orders"}`) {
+		t.Fatal("orders namespace series missing after create")
+	}
+	if _, err := ns.Insert([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("ns Insert: %v", err)
+	}
+	// ...and disappears with the namespace.
+	if err := c.DropNamespace("orders"); err != nil {
+		t.Fatalf("DropNamespace: %v", err)
+	}
+	if strings.Contains(scrape(t, ms.URL), `ns="orders"`) {
+		t.Fatal("orders namespace series survived the drop")
+	}
+
+	// The same exposition is reachable in-band through OpStats.
+	blob, err := c.ServerStats()
+	if err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+	if !strings.Contains(string(blob), `skiphash_server_request_seconds_count{ns="default"}`) {
+		t.Fatalf("ServerStats blob missing default series:\n%s", blob)
+	}
+}
+
+// TestServerStatsWithoutRegistry checks OpStats degrades to a typed
+// error rather than an empty blob.
+func TestServerStatsWithoutRegistry(t *testing.T) {
+	_, addr := startNsServer(t, RegistryConfig{}, Config{})
+	c := dialT(t, addr, client.Options{})
+	if _, err := c.ServerStats(); err == nil {
+		t.Fatal("ServerStats on a registry-less server did not error")
+	}
+}
+
+// TestSlowOpTracer arms a zero-threshold tracer and checks entries
+// carry the op, namespace, and execution path.
+func TestSlowOpTracer(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	tr.SetThreshold(0) // trace everything
+	_, addr := startNsServer(t,
+		RegistryConfig{Obs: reg},
+		Config{Obs: reg, Tracer: tr})
+	c := dialT(t, addr, client.Options{})
+	if _, err := c.Put(1, 1); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, _, err := c.Get(1); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Total() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	entries := tr.Dump()
+	if len(entries) < 2 {
+		t.Fatalf("tracer retained %d entries, want >= 2", len(entries))
+	}
+	var sawGet, sawPut bool
+	for _, e := range entries {
+		if e.Namespace != "default" {
+			t.Errorf("entry namespace = %q, want default", e.Namespace)
+		}
+		switch e.Op {
+		case "Get":
+			sawGet = true
+			if e.Path != "reads" {
+				t.Errorf("Get path = %q, want reads", e.Path)
+			}
+		case "Put":
+			sawPut = true
+			if e.Path != "atomic" {
+				t.Errorf("Put path = %q, want atomic", e.Path)
+			}
+		}
+	}
+	if !sawGet || !sawPut {
+		t.Fatalf("missing ops in trace: get=%v put=%v (%v)", sawGet, sawPut, entries)
+	}
+}
+
+// TestPureGetZeroAllocWithMetrics pins the acceptance requirement that
+// enabling metrics (and an armed-but-unmatched tracer) keeps the
+// pure-Get drain cycle allocation-free, observation included.
+func TestPureGetZeroAllocWithMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; count is meaningless")
+	}
+	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{Shards: 1}, skiphash.Int64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	tr.SetThreshold(time.Hour) // armed, never matched
+	srv := New(NewShardedBackend(m), Config{Obs: reg, Tracer: tr})
+	c := &conn{
+		srv:   srv,
+		bw:    bufio.NewWriterSize(io.Discard, 64<<10),
+		resps: make([]wire.Response, srv.cfg.MaxBatch),
+		track: true,
+	}
+	c.arrivals = make([]time.Time, 0, srv.cfg.MaxBatch)
+	c.paths = make([]uint8, srv.cfg.MaxBatch)
+	c.nsAt = make([]*namespace, srv.cfg.MaxBatch)
+	for k := int64(0); k < 128; k++ {
+		m.Insert(k, k)
+	}
+	batch := make([]wire.Request, 64)
+	for i := range batch {
+		batch[i] = wire.Request{ID: uint64(i), Op: wire.OpGet, Key: int64(i) % 128}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.arrivals = c.arrivals[:0]
+		now := time.Now()
+		for range batch {
+			c.arrivals = append(c.arrivals, now)
+		}
+		c.execute(batch)
+		c.observe(batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("pure-Get cycle with metrics enabled allocates %.1f/op, want 0", allocs)
+	}
+	if got := reg.Histogram(reqLatencyName, reqLatencyHelp, obs.LatencyBounds, 1e-9,
+		obs.Label{Key: "ns", Value: "default"}).Count(); got == 0 {
+		t.Fatal("latency histogram saw no observations")
+	}
+}

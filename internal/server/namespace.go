@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/skiphash"
 )
@@ -126,6 +127,12 @@ type RegistryConfig struct {
 	// MaxBatch bounds how many pipelined requests one namespace's
 	// coalesced transaction may absorb (0 = the server's MaxBatch).
 	MaxBatch int
+	// Obs, when set, holds each namespace's request-latency histogram
+	// (skiphash_server_request_seconds{ns="<name>"}): registered at
+	// create, unregistered at drop, so the exposition's series track the
+	// namespace lifecycle. Use the same registry as the server's
+	// Config.Obs so the default namespace's series sits alongside.
+	Obs *obs.Registry
 }
 
 // Registry owns a server's named namespaces: creation, lookup by the
@@ -158,6 +165,10 @@ type namespace struct {
 
 	connMu sync.Mutex
 	conns  map[*conn]struct{}
+
+	// reqLatency is this namespace's request-latency histogram; nil
+	// without RegistryConfig.Obs.
+	reqLatency *obs.Histogram
 }
 
 // attach admits c to the namespace's connection quota; false answers
@@ -349,6 +360,10 @@ func (r *Registry) create(name, dir string, fsync uint8) (*namespace, error) {
 		maxBatch: r.cfg.MaxBatch,
 		conns:    make(map[*conn]struct{}),
 	}
+	if r.cfg.Obs != nil {
+		ns.reqLatency = r.cfg.Obs.Histogram(reqLatencyName, reqLatencyHelp,
+			obs.LatencyBounds, 1e-9, obs.Label{Key: "ns", Value: name})
+	}
 	r.nextID++
 	r.byID[ns.id] = ns
 	r.byName[name] = ns
@@ -371,6 +386,9 @@ func (r *Registry) Drop(name string) error {
 	ns.mu.Lock()
 	ns.dropped = true
 	ns.mu.Unlock()
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Unregister(reqLatencyName, obs.Label{Key: "ns", Value: ns.name})
+	}
 	ns.be.Close()
 	if ns.dir != "" {
 		return os.RemoveAll(ns.dir)
@@ -427,6 +445,9 @@ func (r *Registry) CloseAll() {
 		ns.mu.Lock()
 		ns.dropped = true
 		ns.mu.Unlock()
+		if r.cfg.Obs != nil {
+			r.cfg.Obs.Unregister(reqLatencyName, obs.Label{Key: "ns", Value: ns.name})
+		}
 		ns.be.Close()
 	}
 }

@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/skiphash"
 )
@@ -146,6 +147,20 @@ type Config struct {
 	// Logf, when set, receives per-connection diagnostics (protocol
 	// violations, write failures). Default: silent.
 	Logf func(format string, args ...any)
+	// Obs, when set, registers the server's metrics (request latency,
+	// coalesced-run size, queue depth, busy refusals) and serves the
+	// registry's rendered exposition through wire.OpStats. Metrics are
+	// additive: nothing is registered on the data path's shared-write
+	// side, and with Obs unset the per-request cost is a nil check.
+	Obs *obs.Registry
+	// Tracer, when set (and armed via its threshold), captures slow
+	// requests into its ring: op, namespace, key hash, execution path,
+	// duration, and the STM abort delta over the request's batch.
+	Tracer *obs.Tracer
+	// AbortsFn, when set alongside Tracer, reports the process-wide STM
+	// abort count; trace entries carry the delta observed across their
+	// drain cycle as an attribution hint.
+	AbortsFn func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +188,7 @@ type Server struct {
 	reg        *Registry
 	defDurable bool
 	cfg        Config
+	met        *metrics // nil without Config.Obs
 
 	mu       sync.Mutex
 	lns      map[net.Listener]struct{}
@@ -185,12 +201,16 @@ type Server struct {
 // only the v1 ops (v2 data ops answer StatusNsNotFound, NsCreate
 // StatusErr).
 func New(be Backend, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		be:    be,
 		cfg:   cfg.withDefaults(),
 		lns:   make(map[net.Listener]struct{}),
 		conns: make(map[*conn]struct{}),
 	}
+	if s.cfg.Obs != nil {
+		s.met = newMetrics(s, s.cfg.Obs)
+	}
+	return s
 }
 
 // NewWithRegistry creates a multi-namespace server: be is namespace 0
@@ -262,6 +282,9 @@ func (s *Server) startConn(nc net.Conn) {
 	}
 	if len(s.conns) >= s.cfg.MaxConns {
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.busyConns.Inc()
+		}
 		s.refuse(nc, wire.StatusBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
 		return
 	}
@@ -269,8 +292,14 @@ func (s *Server) startConn(nc net.Conn) {
 		srv:   s,
 		nc:    nc,
 		bw:    bufio.NewWriterSize(nc, 64<<10),
-		reqs:  make(chan wire.Request, s.cfg.QueueDepth),
+		reqs:  make(chan queuedReq, s.cfg.QueueDepth),
 		resps: make([]wire.Response, s.cfg.MaxBatch),
+		track: s.met != nil || s.cfg.Tracer != nil,
+	}
+	if c.track {
+		c.arrivals = make([]time.Time, 0, s.cfg.MaxBatch)
+		c.paths = make([]uint8, s.cfg.MaxBatch)
+		c.nsAt = make([]*namespace, s.cfg.MaxBatch)
 	}
 	s.conns[c] = struct{}{}
 	s.connWG.Add(2)
@@ -340,6 +369,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// queuedReq is a decoded request plus its arrival stamp (zero unless
+// the connection tracks timings).
+type queuedReq struct {
+	req wire.Request
+	at  time.Time
+}
+
 // conn is one served connection.
 type conn struct {
 	srv *Server
@@ -348,7 +384,7 @@ type conn struct {
 
 	// reqs carries decoded requests from the reader to the executor;
 	// the reader closes it when the connection's read side is done.
-	reqs chan wire.Request
+	reqs chan queuedReq
 
 	// Executor scratch, reused across drain cycles.
 	resps  []wire.Response
@@ -359,6 +395,15 @@ type conn struct {
 	bpairs []BPair
 	bkvs   []wire.BKV
 	bval   []byte
+
+	// Observability scratch (see metrics.go), allocated once when track
+	// is set: per-request arrival stamps, execution-path markers, and
+	// namespace annotations, all indexed by batch position.
+	track        bool
+	arrivals     []time.Time
+	paths        []uint8
+	nsAt         []*namespace
+	abortsBefore uint64
 
 	// attached caches which namespaces this connection has been
 	// admitted to (the per-namespace connection quota), so the quota
@@ -413,7 +458,11 @@ func (c *conn) readLoop() {
 			c.logf("server: %s: %v", c.nc.RemoteAddr(), err)
 			return
 		}
-		c.reqs <- req
+		q := queuedReq{req: req}
+		if c.track {
+			q.at = time.Now()
+		}
+		c.reqs <- q
 	}
 }
 
@@ -435,10 +484,16 @@ func (c *conn) serveLoop() {
 			if t := c.srv.cfg.WriteTimeout; t > 0 {
 				c.nc.SetWriteDeadline(time.Now().Add(t))
 			}
+			if tr := c.srv.cfg.Tracer; tr != nil && tr.Enabled() && c.srv.cfg.AbortsFn != nil {
+				c.abortsBefore = c.srv.cfg.AbortsFn()
+			}
 			c.execute(batch)
 			if err := c.flush(); err != nil {
 				c.logf("server: %s: write: %v", c.nc.RemoteAddr(), err)
 				return
+			}
+			if c.track {
+				c.observe(batch)
 			}
 		}
 		if !open {
@@ -452,23 +507,38 @@ func (c *conn) serveLoop() {
 // queue can still produce more.
 func (c *conn) dequeue() (batch []wire.Request, open bool) {
 	c.batch = c.batch[:0]
-	req, ok := <-c.reqs
+	if c.track {
+		c.arrivals = c.arrivals[:0]
+	}
+	q, ok := <-c.reqs
 	if !ok {
 		return nil, false
 	}
-	c.batch = append(c.batch, req)
+	c.push(q)
 	for len(c.batch) < c.srv.cfg.MaxBatch {
 		select {
-		case req, ok := <-c.reqs:
+		case q, ok := <-c.reqs:
 			if !ok {
 				return c.batch, false
 			}
-			c.batch = append(c.batch, req)
+			c.push(q)
 		default:
 			return c.batch, true
 		}
 	}
 	return c.batch, true
+}
+
+// push appends one queued request to the cycle's batch, keeping the
+// timing annotations aligned by position.
+func (c *conn) push(q queuedReq) {
+	c.batch = append(c.batch, q.req)
+	if c.track {
+		c.arrivals = append(c.arrivals, q.at)
+		i := len(c.batch) - 1
+		c.paths[i] = pathStandalone
+		c.nsAt[i] = nil
+	}
 }
 
 // teardown closes the connection and unblocks the reader if it is
@@ -537,9 +607,11 @@ func (c *conn) execRunV1(batch []wire.Request, i int) int {
 		for j < len(batch) && batch[j].Op == wire.OpGet {
 			j++
 		}
+		c.markRun(i, j, pathReads, nil)
 		c.prefetchNext(batch, j)
 		c.execReads(batch[i:j])
 	} else {
+		c.markRun(i, j, pathAtomic, nil)
 		c.prefetchNext(batch, j)
 		c.execAtomic(batch[i:j])
 	}
@@ -684,7 +756,7 @@ func (c *conn) execAtomic(group []wire.Request) {
 }
 
 // execStandalone executes a non-coalescable request (Range, Sync,
-// Snapshot, Ping, Watermark, Promote) and encodes its response.
+// Snapshot, Ping, Watermark, Promote, Stats) and encodes its response.
 func (c *conn) execStandalone(req *wire.Request) {
 	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
 	switch req.Op {
@@ -725,6 +797,12 @@ func (c *conn) execStandalone(req *wire.Request) {
 			}
 		} else {
 			resp.Status, resp.Msg = wire.StatusErr, "backend is not promotable"
+		}
+	case wire.OpStats:
+		if r := c.srv.cfg.Obs; r != nil {
+			resp.BVal = r.Render()
+		} else {
+			resp.Status, resp.Msg = wire.StatusErr, "server has no metrics registry"
 		}
 	case wire.OpRange2, wire.OpSync2, wire.OpSnapshot2:
 		c.execStandalone2(req, &resp)

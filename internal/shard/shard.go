@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stm"
@@ -278,6 +279,15 @@ func (s *Sharded[K, V]) HandleCount() int {
 		n += m.HandleCount()
 	}
 	return n
+}
+
+// SetMaintenanceObserver installs fn on every shard; see
+// core.Map.SetMaintenanceObserver. Observations from different shards'
+// drains interleave on one observer.
+func (s *Sharded[K, V]) SetMaintenanceObserver(fn func(nodes int, d time.Duration)) {
+	for _, m := range s.shards {
+		m.SetMaintenanceObserver(fn)
+	}
 }
 
 // MaintenanceStats aggregates the reclamation counters of every shard.

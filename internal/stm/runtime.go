@@ -3,6 +3,7 @@ package stm
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Runtime is an STM instance: a commit clock plus the descriptor pool and
@@ -19,6 +20,10 @@ type Runtime struct {
 	// It is swappable at runtime via SetHooks; each attempt snapshots it
 	// once at begin, so a swap takes effect at attempt granularity.
 	hooks atomic.Pointer[hooksBox]
+	// commitObs, when set, receives each successful Atomic call's
+	// begin-to-commit latency (retries and backoff included). Loaded
+	// once per call; nil costs one atomic load.
+	commitObs atomic.Pointer[commitObsBox]
 	// backoffSeed derives every descriptor's backoff PRNG stream, making
 	// backoff spin counts reproducible per descriptor for a fixed seed.
 	backoffSeed uint64
@@ -37,6 +42,28 @@ type Runtime struct {
 // hooksBox wraps the Hooks interface value so it can live in an
 // atomic.Pointer.
 type hooksBox struct{ h Hooks }
+
+// CommitObserver receives successful-commit latencies in nanoseconds.
+// The obs package's Histogram satisfies it; keeping the interface here
+// keeps the STM dependency-free.
+type CommitObserver interface {
+	ObserveNanos(n int64)
+}
+
+// commitObsBox wraps the observer interface value for atomic.Pointer.
+type commitObsBox struct{ o CommitObserver }
+
+// SetCommitObserver installs (or, with nil, removes) the runtime's
+// commit-latency observer. When set, every successful Atomic/TryOnce
+// call reports its wall time from first begin to commit, including
+// retries and backoff.
+func (rt *Runtime) SetCommitObserver(o CommitObserver) {
+	if o == nil {
+		rt.commitObs.Store(nil)
+		return
+	}
+	rt.commitObs.Store(&commitObsBox{o: o})
+}
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -128,6 +155,11 @@ func (rt *Runtime) run(fn func(tx *Tx) error, tryOnce bool) error {
 	tx := rt.pool.Get().(*Tx)
 	defer rt.pool.Put(tx)
 	tx.attempts = 0
+	var t0 time.Time
+	obs := rt.commitObs.Load()
+	if obs != nil {
+		t0 = time.Now()
+	}
 	for {
 		tx.begin()
 		if tx.hookPoint(PointBegin) {
@@ -140,6 +172,9 @@ func (rt *Runtime) run(fn func(tx *Tx) error, tryOnce bool) error {
 				}
 				if tx.commit() {
 					tx.runHooks()
+					if obs != nil {
+						obs.o.ObserveNanos(int64(time.Since(t0)))
+					}
 					return nil
 				}
 				// Commit-time validation (or an injected abort) failed;
@@ -149,6 +184,7 @@ func (rt *Runtime) run(fn func(tx *Tx) error, tryOnce bool) error {
 			}
 		} else {
 			// Injected abort at begin.
+			tx.abortReason = reasonInjected
 			tx.rollback()
 		}
 		if tryOnce {
@@ -189,6 +225,10 @@ func (rt *Runtime) Stats() Stats {
 		s.ReadOnlyCommits += tx.stats.readOnlyCommits.Load()
 		s.Aborts += tx.stats.aborts.Load()
 		s.UserErrors += tx.stats.userErrors.Load()
+		s.AbortsValidate += tx.stats.abortsValidate.Load()
+		s.AbortsAcquire += tx.stats.abortsAcquire.Load()
+		s.AbortsInjected += tx.stats.abortsInjected.Load()
+		s.BackoffNanos += tx.stats.backoffNanos.Load()
 	}
 	rt.sumFastReads(&s)
 	return s
@@ -203,6 +243,18 @@ type Stats struct {
 	// Aborts counts rolled-back attempts (conflicts and failed
 	// commit-time validations, including TryOnce failures).
 	Aborts uint64
+	// AbortsValidate/AbortsAcquire/AbortsInjected split Aborts by
+	// reason: version-admissibility and read-set validation failures;
+	// lock conflicts (an orec held by another transaction, or a lost
+	// acquisition race); and aborts injected by instrumentation hooks.
+	// User-error rollbacks carry no reason, so the three sum to at
+	// most Aborts.
+	AbortsValidate uint64
+	AbortsAcquire  uint64
+	AbortsInjected uint64
+	// BackoffNanos is wall time spent in inter-attempt backoff — the
+	// contention-induced delay behind the abort counts.
+	BackoffNanos uint64
 	// UserErrors counts transactions rolled back because the closure
 	// returned a non-nil error.
 	UserErrors uint64
@@ -223,6 +275,10 @@ func (s Stats) Sub(prev Stats) Stats {
 		Commits:           s.Commits - prev.Commits,
 		ReadOnlyCommits:   s.ReadOnlyCommits - prev.ReadOnlyCommits,
 		Aborts:            s.Aborts - prev.Aborts,
+		AbortsValidate:    s.AbortsValidate - prev.AbortsValidate,
+		AbortsAcquire:     s.AbortsAcquire - prev.AbortsAcquire,
+		AbortsInjected:    s.AbortsInjected - prev.AbortsInjected,
+		BackoffNanos:      s.BackoffNanos - prev.BackoffNanos,
 		UserErrors:        s.UserErrors - prev.UserErrors,
 		FastReadHits:      s.FastReadHits - prev.FastReadHits,
 		FastReadFallbacks: s.FastReadFallbacks - prev.FastReadFallbacks,

@@ -170,7 +170,7 @@ func TestOnCommitHooks(t *testing.T) {
 			tries++
 			if tries == 1 {
 				tx.OnCommit(func() { fired++ })
-				tx.conflict() // force a retry after registering
+				tx.conflict(reasonAcquire) // force a retry after registering
 			}
 			tx.OnCommit(func() { fired++ })
 			return nil

@@ -3,6 +3,7 @@ package stm
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -50,6 +51,10 @@ type Tx struct {
 	// snapshotted once per attempt at begin (nil when uninstrumented).
 	instr Hooks
 
+	// abortReason classifies the in-flight abort for rollback's
+	// by-reason counters; reset after each rollback.
+	abortReason uint8
+
 	stats txStats
 }
 
@@ -85,7 +90,27 @@ type txStats struct {
 	readOnlyCommits atomic.Uint64
 	aborts          atomic.Uint64
 	userErrors      atomic.Uint64
+	// Aborts by reason (see the abortReason constants); user-error
+	// rollbacks carry no reason, so the three never exceed aborts.
+	abortsValidate atomic.Uint64
+	abortsAcquire  atomic.Uint64
+	abortsInjected atomic.Uint64
+	// backoffNanos accumulates wall time spent in backoff between
+	// attempts.
+	backoffNanos atomic.Uint64
 }
+
+// Abort reasons, recorded at the conflict site and banked by rollback:
+// acquire is any failure encountering a lock (an orec held by another
+// transaction, or a lost acquisition race); validate is any version
+// admissibility or read-set validation failure; injected is an abort
+// requested by instrumentation hooks.
+const (
+	reasonNone = iota
+	reasonValidate
+	reasonAcquire
+	reasonInjected
+)
 
 // idBlock is how many transaction IDs a descriptor reserves at once, so
 // the global counter is touched ~never instead of per attempt.
@@ -134,8 +159,10 @@ func (tx *Tx) hookPoint(p Point) bool {
 // for data structures that want to reason about snapshot ages.
 func (tx *Tx) Start() uint64 { return tx.start }
 
-// conflict aborts the current attempt by unwinding to the retry loop.
-func (tx *Tx) conflict() {
+// conflict aborts the current attempt by unwinding to the retry loop,
+// recording the abort's reason for the by-reason counters.
+func (tx *Tx) conflict(reason uint8) {
+	tx.abortReason = reason
 	panic(txAbort{})
 }
 
@@ -158,11 +185,11 @@ func (tx *Tx) readOrec(o *Orec) (w orecWord, mine bool) {
 		if w.owner() == tx.id {
 			return w, true
 		}
-		tx.conflict()
+		tx.conflict(reasonAcquire)
 	}
 	if !tx.versionOK(w.version()) {
 		tx.rt.clock.OnAbort()
-		tx.conflict()
+		tx.conflict(reasonValidate)
 	}
 	return w, false
 }
@@ -171,7 +198,7 @@ func (tx *Tx) readOrec(o *Orec) (w orecWord, mine bool) {
 // being read and records it in the read set.
 func (tx *Tx) postRead(o *Orec, w orecWord) {
 	if o.load() != w {
-		tx.conflict()
+		tx.conflict(reasonValidate)
 	}
 	// Consecutive reads of fields guarded by the same orec are common
 	// (several fields of one node); collapse them.
@@ -189,14 +216,14 @@ func (tx *Tx) acquire(o *Orec) {
 		if w.owner() == tx.id {
 			return
 		}
-		tx.conflict()
+		tx.conflict(reasonAcquire)
 	}
 	if !tx.versionOK(w.version()) {
 		tx.rt.clock.OnAbort()
-		tx.conflict()
+		tx.conflict(reasonValidate)
 	}
 	if !o.cas(w, lockWord(tx.id)) {
-		tx.conflict()
+		tx.conflict(reasonAcquire)
 	}
 	tx.acquired = append(tx.acquired, acqEntry{orec: o, prev: w})
 	if len(tx.acqIndex) > 0 {
@@ -305,6 +332,7 @@ func (tx *Tx) commit() bool {
 		// Start() and nothing remains to be done. This is the
 		// "negligible overhead" read-only optimization from §2.2.
 		if !tx.hookPoint(PointCommit) {
+			tx.abortReason = reasonInjected
 			tx.rollback()
 			return false
 		}
@@ -314,6 +342,7 @@ func (tx *Tx) commit() bool {
 		return true
 	}
 	if !tx.hookPoint(PointValidate) {
+		tx.abortReason = reasonInjected
 		tx.rollback()
 		return false
 	}
@@ -332,10 +361,12 @@ func (tx *Tx) commit() bool {
 				continue
 			}
 		}
+		tx.abortReason = reasonValidate
 		tx.rollback()
 		return false
 	}
 	if !tx.hookPoint(PointCommit) {
+		tx.abortReason = reasonInjected
 		tx.rollback()
 		return false
 	}
@@ -377,6 +408,15 @@ func (tx *Tx) rollback() {
 	tx.acquired = tx.acquired[:0]
 	tx.active = false
 	tx.stats.aborts.Add(1)
+	switch tx.abortReason {
+	case reasonValidate:
+		tx.stats.abortsValidate.Add(1)
+	case reasonAcquire:
+		tx.stats.abortsAcquire.Add(1)
+	case reasonInjected:
+		tx.stats.abortsInjected.Add(1)
+	}
+	tx.abortReason = reasonNone
 }
 
 // runHooks fires the on-commit hooks registered during a successful
@@ -393,6 +433,7 @@ func (tx *Tx) runHooks() {
 // than waiting, so backoff is what prevents livelock between symmetric
 // conflicting transactions.
 func (tx *Tx) backoff() {
+	t0 := time.Now()
 	tx.attempts++
 	shift := tx.attempts
 	if shift > 12 {
@@ -406,6 +447,9 @@ func (tx *Tx) backoff() {
 	if tx.attempts%8 == 0 {
 		runtime.Gosched()
 	}
+	// Bank the wall time so Stats can report contention-induced delay;
+	// this path only runs after an abort, never on a clean commit.
+	tx.stats.backoffNanos.Add(uint64(time.Since(t0)))
 }
 
 // nextRand is a splitmix64 step seeded per descriptor.

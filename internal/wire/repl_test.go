@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -105,5 +106,24 @@ func TestWatermarkPromoteRoundTrip(t *testing.T) {
 	resp = roundTripResponse(t, Response{ID: 3, Op: OpPut, Status: StatusReadOnly, Msg: "replica"})
 	if resp.Status != StatusReadOnly || resp.Msg != "replica" {
 		t.Fatalf("read-only response round trip: %+v", resp)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	got := roundTripRequest(t, Request{ID: 7, Op: OpStats})
+	if got.Op != OpStats || got.ID != 7 {
+		t.Fatalf("stats request round trip: %+v", got)
+	}
+	blob := []byte("# HELP skiphash_stm_commits_total x\nskiphash_stm_commits_total 42\n")
+	resp := roundTripResponse(t, Response{ID: 7, Op: OpStats, BVal: blob})
+	if !bytes.Equal(resp.BVal, blob) {
+		t.Fatalf("stats response blob = %q", resp.BVal)
+	}
+	// An oversized blob length must be rejected before allocation.
+	frame := AppendResponse(nil, &Response{ID: 8, Op: OpStats, BVal: []byte("x")})
+	payload := bytes.Clone(frame[frameHeaderLen:])
+	binary.LittleEndian.PutUint32(payload[10:], MaxStatsLen+1)
+	if _, err := ParseResponse(payload); err == nil {
+		t.Fatal("oversized stats length not rejected")
 	}
 }

@@ -43,6 +43,9 @@
 //	                           on a replica the applied stamp, on a
 //	                           primary a fresh clock read
 //	Promote                 -> make a replica writable (no-op body)
+//	Stats                   -> server metrics in the Prometheus text
+//	                           exposition format, one length-prefixed
+//	                           blob (bounded by MaxStatsLen)
 //
 // # Replication channel
 //
@@ -110,6 +113,10 @@ const (
 	OpNsCreate
 	OpNsDrop
 	OpNsList
+	// OpStats returns the server's metrics registry rendered in the
+	// Prometheus text exposition format, as one length-prefixed blob
+	// (the STATS2 op; see MaxStatsLen).
+	OpStats
 )
 
 // IsV2Data reports whether op is a namespace-addressed v2 data op (its
@@ -180,6 +187,8 @@ func (o Op) String() string {
 		return "NsDrop"
 	case OpNsList:
 		return "NsList"
+	case OpStats:
+		return "Stats"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -359,6 +368,10 @@ const (
 	// MaxResponsePayload). The server truncates longer results to it;
 	// clients wanting more paginate, resuming from their last key + 1.
 	MaxRangePairs = (MaxResponsePayload - 64) / 16
+	// MaxStatsLen bounds a Stats response's exposition blob. Far above
+	// any real registry render, but a hard cap so a corrupted length
+	// cannot drive a huge allocation.
+	MaxStatsLen = 1 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -434,7 +447,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 				dst = appendI64(dst, s.Val)
 			}
 		}
-	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
+	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote, OpStats:
 		// no body
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
 		OpNsCreate, OpNsDrop, OpNsList:
@@ -477,6 +490,8 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = appendI64(dst, resp.Val)
 	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
+	case OpStats:
+		dst = appendBytes(dst, resp.BVal)
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
 		OpNsCreate, OpNsDrop, OpNsList:
 		dst = appendResponse2(dst, resp)
@@ -599,7 +614,7 @@ func ParseRequest(payload []byte) (Request, error) {
 			}
 			req.Steps = append(req.Steps, s)
 		}
-	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote:
+	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote, OpStats:
 		// no body
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
 		OpNsCreate, OpNsDrop, OpNsList:
@@ -662,6 +677,8 @@ func ParseResponse(payload []byte) (Response, error) {
 		resp.Val = d.i64("watermark")
 	case OpSync, OpSnapshot, OpPing, OpPromote:
 		// no body
+	case OpStats:
+		resp.BVal = d.bstr(MaxStatsLen, "stats")
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
 		OpNsCreate, OpNsDrop, OpNsList:
 		parseResponse2(&d, &resp)

@@ -250,6 +250,10 @@ func (c *Client) Snapshot() error { return c.pick().Snapshot() }
 // Ping round-trips an empty request.
 func (c *Client) Ping() error { return c.pick().Ping() }
 
+// ServerStats fetches the server's metrics exposition; see
+// Conn.ServerStats.
+func (c *Client) ServerStats() ([]byte, error) { return c.pick().ServerStats() }
+
 // Conn is one protocol connection. It is safe for concurrent use;
 // pipelining callers typically dedicate it to one goroutine.
 type Conn struct {
@@ -509,6 +513,14 @@ func (cn *Conn) Watermark() (uint64, error) {
 func (cn *Conn) Promote() error {
 	_, err := cn.Do(&wire.Request{Op: wire.OpPromote})
 	return err
+}
+
+// ServerStats fetches the server's metrics registry rendered in the
+// Prometheus text exposition format. Servers without a registry answer
+// with an error.
+func (cn *Conn) ServerStats() ([]byte, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpStats})
+	return resp.BVal, err
 }
 
 // getAt pipelines Watermark+Get in one flush on this (replica)

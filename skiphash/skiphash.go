@@ -151,6 +151,19 @@
 // within one primary lineage — see internal/repl for the consistency
 // contract.
 //
+// # Observability
+//
+// Every layer surfaces counters through cheap Stats() accessors
+// (Sharded.STMStats, Map.MaintenanceStats, persist.Store.Stats,
+// repl.Replica.Stats), and the daemon assembles them — plus latency
+// histograms for commits, fsyncs and per-namespace requests, and a
+// slow-op ring tracer — into one internal/obs registry rendered as
+// Prometheus text exposition (skiphashd -metrics, the Stats wire op,
+// client.ServerStats). Metrics are strictly additive: the serving and
+// read fast paths write only striped atomics, never shared metric
+// state. See the README's Observability section for the endpoint and
+// series naming.
+//
 // # Handle lifecycle and maintenance
 //
 // Removals defer their physical unstitching through per-handle buffers
