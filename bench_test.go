@@ -141,7 +141,7 @@ func BenchmarkAblationClock(b *testing.B) {
 		{"gv5", func() stm.Clock { return stm.NewGV5() }},
 	} {
 		b.Run("clock="+clk.name, func(b *testing.B) {
-			m := skiphash.NewInt64[int64](skiphash.Config{Clock: clk.mk()})
+			m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Clock: clk.mk()})
 			pre := m.NewHandle()
 			for k := int64(0); k < benchUniverse; k += 2 {
 				pre.Insert(k, k)
@@ -190,7 +190,7 @@ func BenchmarkAblationRemovalBuffer(b *testing.B) {
 		{"unbuffered", skiphash.Config{SlowOnly: true, RemovalBufferSize: -1}},
 	} {
 		b.Run("removals="+cfg.name, func(b *testing.B) {
-			m := skiphash.NewInt64[int64](cfg.c)
+			m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg.c)
 			pre := m.NewHandle()
 			for k := int64(0); k < benchUniverse; k += 2 {
 				pre.Insert(k, k)

@@ -13,6 +13,7 @@
 //	skipbench net              # serving layer: closed-loop vs pipelined clients
 //	skipbench read             # read fast path: optimistic Get vs transactional Get
 //	skipbench repl             # replication: primary reads vs barriered replica fan-out
+//	skipbench reshard          # online resharding: throughput while the shard count migrates live
 //	skipbench all              # everything
 //
 // Flags:
@@ -139,6 +140,8 @@ func main() {
 		err = bench.ReadBench(os.Stdout, opts)
 	case "repl":
 		err = bench.Repl(os.Stdout, opts)
+	case "reshard":
+		err = bench.Reshard(os.Stdout, opts)
 	case "all":
 		for _, letter := range []string{"a", "b", "c", "d", "e", "f"} {
 			if err = bench.Fig5(os.Stdout, letter, opts); err != nil {
@@ -184,6 +187,11 @@ func main() {
 		}
 		if err == nil {
 			err = bench.Repl(os.Stdout, opts)
+			flushMetrics()
+			fmt.Println()
+		}
+		if err == nil {
+			err = bench.Reshard(os.Stdout, opts)
 			flushMetrics()
 		}
 	case "-h", "--help", "help":
@@ -252,7 +260,7 @@ func parseThreads(s string) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|read|repl|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: skipbench <fig5|fig6|table1|shards|churn|persist|net|read|repl|reshard|all> [flags]
 
 Reproduces the evaluation of "Skip Hash: A Fast Ordered Map Via Software
 Transactional Memory". Run "skipbench <cmd> -h" for flags.`)

@@ -3,10 +3,14 @@
 //
 // The served map is the sharded skip hash; -shards 1 degenerates to a
 // single shard and -isolated switches to per-shard STM runtimes (then
-// atomic batches must stay within one shard). With -dir the map is
-// durable: it is recovered from the directory on start, every
-// committed update is written to the commit-stamp-ordered WAL under
-// the chosen -fsync policy, and a clean shutdown syncs before closing.
+// atomic batches must stay within one shard). -shards only sets the
+// initial count: the RESIZE wire op live-migrates the map to a new
+// count under traffic, and on a durable isolated-shard map the count
+// recorded in the shard meta file wins over the flag on restart. With
+// -dir the map is durable: it is recovered from the directory on
+// start, every committed update is written to the commit-stamp-ordered
+// WAL under the chosen -fsync policy, and a clean shutdown syncs
+// before closing.
 //
 // Shutdown is signal-driven: SIGINT/SIGTERM stops accepting, drains
 // in-flight pipelined requests (bounded by -drain-timeout), quiesces
@@ -92,7 +96,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7466", "TCP listen address (empty disables)")
 		unixPath     = flag.String("unix", "", "unix socket path (empty disables)")
-		shards       = flag.Int("shards", 0, "shard count (0 derives from GOMAXPROCS)")
+		shards       = flag.Int("shards", 0, "initial shard count (0 derives from GOMAXPROCS); RESIZE changes it live")
 		isolated     = flag.Bool("isolated", false, "per-shard STM runtimes (batches must stay within one shard)")
 		maintenance  = flag.Bool("maintenance", true, "background reclamation maintainer")
 		dir          = flag.String("dir", "", "durability directory (empty = in-memory only)")
@@ -163,7 +167,7 @@ func main() {
 		}()
 	} else {
 		var err error
-		m, err = skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+		m, err = skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 		if err != nil {
 			log.Fatalf("skiphashd: open: %v", err)
 		}

@@ -88,7 +88,7 @@ func runCrash(cycles, threads int, universe int64, seed uint64, dir, reproducer 
 			SegmentBytes:  1 << 16,
 			SnapshotBytes: -1, // snapshots only where the stress places them
 		}}
-		m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+		m, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 		if err != nil {
 			fail("cycle %d: recovery failed: %v", cycle, err)
 		}
@@ -109,7 +109,7 @@ func runCrash(cycles, threads int, universe int64, seed uint64, dir, reproducer 
 
 	// Final clean reopen.
 	cfg := skiphash.Config{Durability: &skiphash.Durability{Dir: dir}}
-	m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	m, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		fail("final recovery: %v", err)
 	}
@@ -233,7 +233,7 @@ func crashCycleTorn(m *skiphash.Map[int64, int64], shadow []shadowCell, universe
 
 	// Recover immediately and find which prefix survived.
 	cfg := skiphash.Config{Durability: &skiphash.Durability{Dir: m.Config().Durability.Dir}}
-	r, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	r, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		fail("cycle %d: recovery after torn crash: %v", cycle, err)
 	}

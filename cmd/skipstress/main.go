@@ -28,6 +28,12 @@
 // keys crossing the wire as 8-byte big-endian strings) and checked
 // against its own sequential model.
 //
+// With -resize it runs the online-resharding stress: the -check
+// workload on a sharded map while a background resizer walks a seeded
+// schedule of shard counts, so every verified history spans live grow
+// and shrink migrations (-isolated covers the per-shard-runtime
+// cutover path; -shards sets the initial count).
+//
 // With -crash it runs the durability stress: -cycles kill/recover
 // rounds against one durability directory, alternating (a) concurrent
 // FsyncAlways rounds killed at a random operation count and audited for
@@ -58,7 +64,7 @@
 //
 //	skipstress [-threads n] [-duration d] [-universe n] [-mode two-path|fast|slow]
 //	           [-shards n] [-isolated] [-seed n] [-check] [-churn] [-crash] [-cycles n]
-//	           [-net] [-namespaces n] [-replica] [-readheavy] [-metrics-dump]
+//	           [-net] [-namespaces n] [-replica] [-resize] [-readheavy] [-metrics-dump]
 //
 // -readheavy skews the -check/-net workload to 80% point lookups, the
 // mix that keeps the optimistic read fast path hot while concurrent
@@ -159,6 +165,7 @@ func main() {
 		netCheck  = flag.Bool("net", false, "serve over loopback TCP and check client-side linearizability")
 		nsCount   = flag.Int("namespaces", 0, "with -net: drive this many byte-string namespaces concurrently through the checker")
 		replica   = flag.Bool("replica", false, "replicated serving stress: barriered replica reads, then kill the primary and promote")
+		resizeChk = flag.Bool("resize", false, "live shard-count resizes under the -check workload and linearizability checker")
 		cycles    = flag.Int("cycles", 60, "kill/recover cycles for -crash")
 		dir       = flag.String("dir", "", "durability directory for -crash (default: a temp dir)")
 		readHeavy = flag.Bool("readheavy", false, "80% point-lookup mix for -check/-net (drives the read fast path)")
@@ -167,13 +174,13 @@ func main() {
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*check, *churn, *crash, *netCheck, *replica} {
+	for _, on := range []bool{*check, *churn, *crash, *netCheck, *replica, *resizeChk} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn, -crash, -net and -replica are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "skipstress: -check, -churn, -crash, -net, -replica and -resize are mutually exclusive")
 		os.Exit(2)
 	}
 	reproducer := reproducerLine()
@@ -201,6 +208,10 @@ func main() {
 		runReplica(*threads, *duration, *seed, lookupPct, reproducer)
 		return
 	}
+	if *resizeChk {
+		runResize(*threads, *duration, *seed, *shards, *isolated, lookupPct, reproducer)
+		return
+	}
 	cfg := skiphash.Config{}
 	if *churn {
 		cfg.Maintenance = true
@@ -224,7 +235,7 @@ func main() {
 			cfg.Shards = *shards
 		}
 		cfg.IsolatedShards = *isolated
-		sm := skiphash.NewInt64Sharded[int64](cfg)
+		sm := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 		m = sm
 		newHandle = func() stressHandle { return sm.NewHandle() }
 		checkable = shardedCheckAdapter{sm}
@@ -233,7 +244,7 @@ func main() {
 			variant += " (isolated)"
 		}
 	} else {
-		um := skiphash.NewInt64[int64](cfg)
+		um := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 		m = um
 		newHandle = func() stressHandle { return um.NewHandle() }
 		checkable = checkAdapter{um}

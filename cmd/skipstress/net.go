@@ -33,7 +33,7 @@ func runNet(threads int, duration time.Duration, seed uint64,
 	if shards > 0 {
 		cfg.Shards = shards
 	}
-	m := skiphash.NewInt64Sharded[int64](cfg)
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 	srv := server.New(server.NewShardedBackend(m), server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -137,7 +137,7 @@ func runNetNamespaces(threads int, duration time.Duration, seed uint64,
 	if shards > 0 {
 		mapCfg.Shards = shards
 	}
-	m := skiphash.NewInt64Sharded[int64](mapCfg)
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, mapCfg)
 	reg, err := server.NewRegistry(server.RegistryConfig{Map: mapCfg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skipstress: registry: %v\n", err)

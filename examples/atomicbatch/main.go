@@ -24,7 +24,7 @@ const (
 )
 
 func main() {
-	ledger := skiphash.NewInt64[int64](skiphash.Config{})
+	ledger := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	for loc := int64(0); loc < locations; loc++ {
 		ledger.Insert(loc, perLoc)
 	}

@@ -27,7 +27,7 @@ func main() {
 		Dir:   dir,
 		Fsync: skiphash.FsyncAlways,
 	}}
-	m, err := skiphash.OpenInt64[string](cfg, skiphash.StringCodec())
+	m, err := skiphash.Open[int64, string](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.StringCodec())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func main() {
 
 	// Reopen: newest valid snapshot, then strictly-newer WAL records
 	// replayed in commit-stamp order.
-	m2, err := skiphash.OpenInt64[string](cfg, skiphash.StringCodec())
+	m2, err := skiphash.Open[int64, string](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.StringCodec())
 	if err != nil {
 		log.Fatal(err)
 	}

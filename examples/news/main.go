@@ -202,7 +202,7 @@ func runDaemon(root string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 2})
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 2})
 	srv := server.NewWithRegistry(server.NewShardedBackend(m), reg, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

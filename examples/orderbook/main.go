@@ -33,8 +33,8 @@ type book struct {
 
 func newBook() *book {
 	return &book{
-		bids: skiphash.NewInt64[int64](skiphash.Config{Buckets: 30011}),
-		asks: skiphash.NewInt64[int64](skiphash.Config{Buckets: 30011}),
+		bids: skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 30011}),
+		asks: skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 30011}),
 	}
 }
 

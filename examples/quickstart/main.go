@@ -11,7 +11,7 @@ import (
 func main() {
 	// A map from int64 keys to string values. The zero Config selects
 	// the paper's recommended two-path range queries.
-	m := skiphash.NewInt64[string](skiphash.Config{})
+	m := skiphash.New[int64, string](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 
 	// Elemental operations are O(1) expected: the hash half of the
 	// composition routes straight to the node.

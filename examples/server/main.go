@@ -30,7 +30,7 @@ func serve(dir string) (*skiphash.Sharded[int64, int64], *server.Server, string)
 		// that — everything acknowledged before the crash must survive.
 		Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncAlways},
 	}
-	m, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	// Keys are nanosecond timestamps; values are sensor readings.
-	store := skiphash.NewInt64[int64](skiphash.Config{})
+	store := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	var written, evicted, windows atomic.Int64
 
 	done := make(chan struct{})

@@ -91,7 +91,7 @@ func NewSkipHash(mode string, buckets int) *SkipHash {
 	default:
 		panic(fmt.Sprintf("bench: unknown skip hash mode %q", mode))
 	}
-	return &SkipHash{m: skiphash.NewInt64[int64](cfg), name: name}
+	return &SkipHash{m: skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg), name: name}
 }
 
 // Name implements Map.
@@ -146,7 +146,7 @@ func NewShardedSkipHash(shards, buckets int, isolated bool) *ShardedSkipHash {
 		buckets = thashmap.DefaultBuckets
 	}
 	cfg := skiphash.Config{Buckets: buckets, Shards: shards, IsolatedShards: isolated}
-	m := skiphash.NewInt64Sharded[int64](cfg)
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 	name := fmt.Sprintf("skiphash-sharded-%d", m.NumShards())
 	if isolated {
 		name += "-iso"

@@ -47,7 +47,7 @@ type churnSubject struct {
 }
 
 func churnUnsharded(name string, cfg skiphash.Config) *churnSubject {
-	m := skiphash.NewInt64[int64](cfg)
+	m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 	return &churnSubject{
 		name:   name,
 		insert: func(k int64) bool { return m.Insert(k, k) },
@@ -65,7 +65,7 @@ func churnUnsharded(name string, cfg skiphash.Config) *churnSubject {
 }
 
 func churnSharded(name string, cfg skiphash.Config) *churnSubject {
-	m := skiphash.NewInt64Sharded[int64](cfg)
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)
 	return &churnSubject{
 		name:   fmt.Sprintf("%s-%d", name, m.NumShards()),
 		insert: func(k int64) bool { return m.Insert(k, k) },

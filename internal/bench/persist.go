@@ -59,7 +59,7 @@ func persistSubjects(buckets int) []persistSubject {
 				// would inject background I/O noise here.
 				SnapshotBytes: -1,
 			}}
-			m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+			m, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 			if err != nil {
 				return nil, nil, err
 			}

@@ -83,10 +83,13 @@ type Config struct {
 	// once per shard, so counter-based clocks (gv1/gv5) can be private
 	// per shard instead of one shared instance ticking one cacheline.
 	ClockFactory func() stm.Clock
-	// Shards selects the partition count of the sharded frontend
-	// (internal/shard, surfaced as skiphash.NewSharded). Zero derives a
-	// power of two from GOMAXPROCS. A single map ignores it; Buckets is
-	// interpreted as the total across shards.
+	// Shards selects the initial partition count of the sharded
+	// frontend (internal/shard, surfaced as skiphash.NewSharded). Zero
+	// derives a power of two from GOMAXPROCS. The count is only
+	// initial: Sharded.Resize migrates to a new count under live
+	// traffic, and a durable isolated-shard map reopens at the count
+	// its meta file records, not this field. A single map ignores it;
+	// Buckets is interpreted as the total across shards.
 	Shards int
 	// IsolatedShards gives every shard of the sharded frontend its own
 	// STM runtime and clock instead of one shared runtime. Point
@@ -176,6 +179,12 @@ type Map[K comparable, V any] struct {
 	// drives snapshots, syncs and shutdown. Both nil on non-durable maps.
 	logger  OpLogger[K, V]
 	persist Persister
+
+	// tap, when set, observes every committed write in commit-stamp
+	// order (SetWriteTap); the sharded frontend points it at a
+	// migration's delta log while this map is a resize source. Nil —
+	// one atomic load on the write path — outside migrations.
+	tap atomic.Pointer[func(del bool, k K, v V, stamp uint64)]
 }
 
 // OpLogger observes the logical effect of committed transactions: every
@@ -322,6 +331,23 @@ func (m *Map[K, V]) AttachPersistence(l OpLogger[K, V], p Persister) {
 
 // Persister returns the attached durability engine, or nil.
 func (m *Map[K, V]) Persister() Persister { return m.persist }
+
+// SetWriteTap installs fn to observe every committed state-changing
+// write (puts and deletes) from this point on. Hooks run inside the
+// commit, after validation and with ownership records still held, so
+// two conflicting writes report in their exact commit order; aborted
+// attempts report nothing. The caller must ensure no write transaction
+// is in flight at installation (the sharded frontend drains its
+// migration gate first) — a transaction that began before the tap was
+// visible commits unobserved. fn must not touch this map.
+func (m *Map[K, V]) SetWriteTap(fn func(del bool, k K, v V, stamp uint64)) {
+	m.tap.Store(&fn)
+}
+
+// ClearWriteTap removes the write tap. Writes that committed before the
+// clear have already reported; the caller serializes against in-flight
+// writers the same way as for SetWriteTap.
+func (m *Map[K, V]) ClearWriteTap() { m.tap.Store(nil) }
 
 // Snapshot writes a durable snapshot of the map now (and truncates the
 // WAL segments it covers). ErrNotDurable without persistence.
@@ -485,6 +511,9 @@ func (m *Map[K, V]) insertTx(tx *stm.Tx, h *Handle[K, V], k K, v V) bool {
 	if m.logger != nil {
 		m.logger.LogPut(tx, k, v)
 	}
+	if tap := m.tap.Load(); tap != nil {
+		tx.OnPublish(func(stamp uint64) { (*tap)(false, k, v, stamp) })
+	}
 	return true
 }
 
@@ -500,6 +529,10 @@ func (m *Map[K, V]) removeTx(tx *stm.Tx, h *Handle[K, V], k K) bool {
 	n.rTime.Store(tx, &n.orec, m.rqc.onUpdate(tx))
 	if m.logger != nil {
 		m.logger.LogDel(tx, k)
+	}
+	if tap := m.tap.Load(); tap != nil {
+		var zero V
+		tx.OnPublish(func(stamp uint64) { (*tap)(true, k, zero, stamp) })
 	}
 	m.afterRemove(tx, h, n)
 	return true

@@ -35,9 +35,9 @@ func (h *primaryHarness) close() {
 // WAL on addr ("127.0.0.1:0" for a fresh port).
 func startPrimary(t *testing.T, dir, addr string, cfg PrimaryConfig) *primaryHarness {
 	t.Helper()
-	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{
+	m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{
 		Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncNone},
-	}, skiphash.Int64Codec())
+	}, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatalf("OpenInt64Sharded: %v", err)
 	}

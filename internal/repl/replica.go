@@ -88,7 +88,7 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
 		cfg:     cfg,
 		lift:    lift,
-		m:       skiphash.NewInt64Sharded[int64](mc),
+		m:       skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, mc),
 		ready:   make(chan struct{}),
 		stopped: make(chan struct{}),
 		done:    make(chan struct{}),

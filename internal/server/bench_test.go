@@ -15,7 +15,7 @@ import (
 // benchmark can drive drain cycles (execute + encode) without sockets.
 func benchConn(b *testing.B, mapCfg skiphash.Config) (*conn, *skiphash.Sharded[int64, int64]) {
 	b.Helper()
-	m, err := skiphash.OpenInt64Sharded[int64](mapCfg, skiphash.Int64Codec())
+	m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, mapCfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func BenchmarkDrainCycleGets(b *testing.B) {
 // tracer): the delta against the plain benchmark is the metrics cost,
 // and the allocation budget stays zero.
 func BenchmarkDrainCycleGetsMetrics(b *testing.B) {
-	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{Shards: 1}, skiphash.Int64Codec())
+	m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 1}, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -247,7 +247,7 @@ func (c *conn) execAtomic2(be BytesBackend, group []wire.Request) {
 }
 
 // execStandalone2 handles the non-coalescable v2 namespace ops (Range2,
-// Sync2, Snapshot2) under the namespace's run lock.
+// Sync2, Snapshot2, Resize2) under the namespace's run lock.
 func (c *conn) execStandalone2(req *wire.Request, resp *wire.Response) {
 	ns, status, msg := c.resolveNS(req.NS)
 	if ns == nil {
@@ -271,6 +271,17 @@ func (c *conn) execStandalone2(req *wire.Request, resp *wire.Response) {
 	case wire.OpSnapshot2:
 		if err := ns.be.Snapshot(); err != nil {
 			resp.Status, resp.Msg = statusFor(err)
+		}
+	case wire.OpResize2:
+		if rz, ok := ns.be.(Resizer); ok {
+			n, err := rz.Resize(int(req.Key))
+			if err != nil {
+				resp.Status, resp.Msg = statusFor(err)
+			} else {
+				resp.Val = int64(n)
+			}
+		} else {
+			resp.Status, resp.Msg = wire.StatusErr, "namespace backend is not resizable"
 		}
 	}
 }

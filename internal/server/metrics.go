@@ -41,6 +41,8 @@ const (
 	reqLatencyHelp = "Request latency from frame arrival to response flush, by namespace."
 	busyName       = "skiphash_server_busy_refusals_total"
 	busyHelp       = "Requests or connections refused with StatusBusy, by reason."
+	nsShardsName   = "skiphash_ns_shards"
+	nsShardsHelp   = "Live shard count of a named namespace's map (RESIZE moves it)."
 )
 
 // metrics holds the server's registered instruments; nil when

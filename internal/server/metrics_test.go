@@ -157,7 +157,7 @@ func TestPureGetZeroAllocWithMetrics(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; count is meaningless")
 	}
-	m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{Shards: 1}, skiphash.Int64Codec())
+	m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 1}, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -92,6 +92,10 @@ func (b *StringBackend) ShardOf(k string) int { return b.s.ShardOf(k) }
 // Spanning implements BytesBackend.
 func (b *StringBackend) Spanning() bool { return !b.s.Isolated() }
 
+// Resize implements Resizer: it live-migrates the namespace's map to n
+// shards.
+func (b *StringBackend) Resize(n int) (int, error) { return b.s.Resize(n) }
+
 // Sync implements BytesBackend.
 func (b *StringBackend) Sync() error { return b.s.Sync() }
 
@@ -342,7 +346,7 @@ func (r *Registry) create(name, dir string, fsync uint8) (*namespace, error) {
 		dur.Fsync = pol
 		mapCfg.Durability = &dur
 	}
-	s, err := skiphash.OpenStringSharded[string](mapCfg, skiphash.StringCodec())
+	s, err := skiphash.OpenSharded[string, string](skiphash.StringLess, skiphash.HashString, mapCfg, skiphash.StringCodec(), skiphash.StringCodec())
 	if err != nil {
 		return nil, err
 	}
@@ -363,6 +367,9 @@ func (r *Registry) create(name, dir string, fsync uint8) (*namespace, error) {
 	if r.cfg.Obs != nil {
 		ns.reqLatency = r.cfg.Obs.Histogram(reqLatencyName, reqLatencyHelp,
 			obs.LatencyBounds, 1e-9, obs.Label{Key: "ns", Value: name})
+		r.cfg.Obs.GaugeFunc(nsShardsName, nsShardsHelp,
+			func() float64 { return float64(s.Shards()) },
+			obs.Label{Key: "ns", Value: name})
 	}
 	r.nextID++
 	r.byID[ns.id] = ns
@@ -388,6 +395,7 @@ func (r *Registry) Drop(name string) error {
 	ns.mu.Unlock()
 	if r.cfg.Obs != nil {
 		r.cfg.Obs.Unregister(reqLatencyName, obs.Label{Key: "ns", Value: ns.name})
+		r.cfg.Obs.Unregister(nsShardsName, obs.Label{Key: "ns", Value: ns.name})
 	}
 	ns.be.Close()
 	if ns.dir != "" {
@@ -447,6 +455,7 @@ func (r *Registry) CloseAll() {
 		ns.mu.Unlock()
 		if r.cfg.Obs != nil {
 			r.cfg.Obs.Unregister(reqLatencyName, obs.Label{Key: "ns", Value: ns.name})
+			r.cfg.Obs.Unregister(nsShardsName, obs.Label{Key: "ns", Value: ns.name})
 		}
 		ns.be.Close()
 	}

@@ -84,6 +84,14 @@ type Promoter interface {
 	Promote() error
 }
 
+// Resizer is an optional extension of Backend and BytesBackend: a
+// sharded backend that can live-migrate to a new shard count while
+// serving (skiphash.Sharded.Resize). Without it, OpResize/OpResize2
+// answer StatusErr. Resize reports the resulting live count.
+type Resizer interface {
+	Resize(n int) (int, error)
+}
+
 // Batch is the transactional view a Backend hands the executor inside
 // Atomic; both skiphash.Txn and skiphash.ShardedTxn satisfy it.
 type Batch interface {
@@ -756,7 +764,8 @@ func (c *conn) execAtomic(group []wire.Request) {
 }
 
 // execStandalone executes a non-coalescable request (Range, Sync,
-// Snapshot, Ping, Watermark, Promote, Stats) and encodes its response.
+// Snapshot, Ping, Watermark, Promote, Stats, Resize) and encodes its
+// response.
 func (c *conn) execStandalone(req *wire.Request) {
 	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
 	switch req.Op {
@@ -804,7 +813,18 @@ func (c *conn) execStandalone(req *wire.Request) {
 		} else {
 			resp.Status, resp.Msg = wire.StatusErr, "server has no metrics registry"
 		}
-	case wire.OpRange2, wire.OpSync2, wire.OpSnapshot2:
+	case wire.OpResize:
+		if rz, ok := c.srv.be.(Resizer); ok {
+			n, err := rz.Resize(int(req.Key))
+			if err != nil {
+				resp.Status, resp.Msg = statusFor(err)
+			} else {
+				resp.Val = int64(n)
+			}
+		} else {
+			resp.Status, resp.Msg = wire.StatusErr, "backend is not resizable"
+		}
+	case wire.OpRange2, wire.OpSync2, wire.OpSnapshot2, wire.OpResize2:
 		c.execStandalone2(req, &resp)
 	case wire.OpNsCreate, wire.OpNsDrop, wire.OpNsList:
 		c.execAdmin(req, &resp)
@@ -916,6 +936,9 @@ func (b *ShardedBackend) ShardOf(k int64) int { return b.s.ShardOf(k) }
 
 // Spanning implements Backend.
 func (b *ShardedBackend) Spanning() bool { return !b.s.Isolated() }
+
+// Resize implements Resizer: it live-migrates the map to n shards.
+func (b *ShardedBackend) Resize(n int) (int, error) { return b.s.Resize(n) }
 
 // Sync implements Backend.
 func (b *ShardedBackend) Sync() error { return b.s.Sync() }

@@ -23,7 +23,7 @@ import (
 // returns the address plus a cleanup tearing everything down.
 func startServer(t *testing.T, mapCfg skiphash.Config, srvCfg Config) (*skiphash.Sharded[int64, int64], *Server, string) {
 	t.Helper()
-	m := skiphash.NewInt64Sharded[int64](mapCfg)
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, mapCfg)
 	srv := New(NewShardedBackend(m), srvCfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -118,7 +118,7 @@ func TestServeBasicOps(t *testing.T) {
 }
 
 func TestServeUnixSocket(t *testing.T) {
-	m := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 2})
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 2})
 	defer m.Close()
 	srv := New(NewShardedBackend(m), Config{})
 	path := t.TempDir() + "/skiphashd.sock"
@@ -429,7 +429,7 @@ func TestPipelinedBatchAtomicityUnderConcurrentWriters(t *testing.T) {
 
 func TestGracefulDrainCompletesInflightRequests(t *testing.T) {
 	for round := 0; round < 5; round++ {
-		m := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 2})
+		m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 2})
 		srv := New(NewShardedBackend(m), Config{})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -502,7 +502,7 @@ func cnErr(cn *client.Conn) error {
 }
 
 func TestShutdownRefusesNewConnections(t *testing.T) {
-	m := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 1})
+	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 1})
 	defer m.Close()
 	srv := New(NewShardedBackend(m), Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -540,7 +540,7 @@ func TestIdleTimeout(t *testing.T) {
 }
 
 func TestServeUnshardedBackend(t *testing.T) {
-	m := skiphash.NewInt64[int64](skiphash.Config{})
+	m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	defer m.Close()
 	srv := New(NewMapBackend(m), Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -569,10 +569,10 @@ func TestServeUnshardedBackend(t *testing.T) {
 func TestDurableServedMap(t *testing.T) {
 	dir := t.TempDir()
 	open := func() *skiphash.Sharded[int64, int64] {
-		m, err := skiphash.OpenInt64Sharded[int64](skiphash.Config{
+		m, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{
 			Shards:     2,
 			Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncNone},
-		}, skiphash.Int64Codec())
+		}, skiphash.Int64Codec(), skiphash.Int64Codec())
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}

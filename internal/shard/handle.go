@@ -14,13 +14,22 @@ import (
 // concurrently; create one per worker with Sharded.NewHandle and Close
 // it when the worker is done, so the handle (and its per-shard
 // sub-handles) leave the registries and any buffered removals reach the
-// shards' orphan queues.
+// shards' orphan queues. When a Resize swaps the route table, the
+// handle rebinds lazily at its next operation, reusing sub-handles of
+// surviving shards and closing those of retired ones.
 type Handle[K comparable, V any] struct {
-	s     *Sharded[K, V]
+	s *Sharded[K, V]
+	// tab is the route table hs/segs/heads are aligned to.
+	tab   *route[K, V]
 	hs    []*core.Handle[K, V]
 	segs  [][]Pair[K, V]
 	heads []int
-	stats core.HandleStats
+	// auth is the scratch the multi-shard paths collect the
+	// authoritative shard indices into during a migration.
+	auth []int
+	// stripe is the handle's pin-counter stripe (see resize.go).
+	stripe uint32
+	stats  core.HandleStats
 	// adaptSkip counts remaining range queries that bypass the fast
 	// path under Config.Adaptive (shared mode only; isolated shards run
 	// their own adaptive policy inside core).
@@ -34,19 +43,22 @@ type Handle[K comparable, V any] struct {
 	closed     atomic.Bool
 }
 
+func (s *Sharded[K, V]) newHandle(registered bool) *Handle[K, V] {
+	h := &Handle[K, V]{
+		s:          s,
+		stripe:     s.stripeCtr.Add(1) & (pinStripes - 1),
+		registered: registered,
+	}
+	t := s.enter(h.stripe)
+	h.rebind(t)
+	s.exit(t, h.stripe)
+	return h
+}
+
 // NewHandle creates a handle bound to s and registers it — and its
 // per-shard sub-handles — for stats aggregation.
 func (s *Sharded[K, V]) NewHandle() *Handle[K, V] {
-	h := &Handle[K, V]{
-		s:     s,
-		hs:    make([]*core.Handle[K, V], len(s.shards)),
-		segs:  make([][]Pair[K, V], len(s.shards)),
-		heads: make([]int, len(s.shards)),
-	}
-	for i, m := range s.shards {
-		h.hs[i] = m.NewHandle()
-	}
-	h.registered = true
+	h := s.newHandle(true)
 	s.mu.Lock()
 	s.handles = append(s.handles, h)
 	s.mu.Unlock()
@@ -60,16 +72,103 @@ func (s *Sharded[K, V]) NewHandle() *Handle[K, V] {
 // cannot grow the registries or strand removals. Explicit workers
 // normally want NewHandle instead.
 func (s *Sharded[K, V]) NewTransientHandle() *Handle[K, V] {
-	h := &Handle[K, V]{
-		s:     s,
-		hs:    make([]*core.Handle[K, V], len(s.shards)),
-		segs:  make([][]Pair[K, V], len(s.shards)),
-		heads: make([]int, len(s.shards)),
+	return s.newHandle(false)
+}
+
+// rebind aligns the handle's per-shard state with t's shard list,
+// reusing sub-handles by map identity (a resize keeps surviving shards'
+// handles warm) and closing those whose shards left the table.
+func (h *Handle[K, V]) rebind(t *route[K, V]) {
+	old := h.hs
+	h.hs = make([]*core.Handle[K, V], len(t.maps))
+	for i, m := range t.maps {
+		for j, ch := range old {
+			if ch != nil && ch.Map() == m {
+				h.hs[i], old[j] = ch, nil
+				break
+			}
+		}
+		if h.hs[i] == nil {
+			if h.registered {
+				h.hs[i] = m.NewHandle()
+			} else {
+				h.hs[i] = m.NewTransientHandle()
+			}
+		}
 	}
-	for i, m := range s.shards {
-		h.hs[i] = m.NewTransientHandle()
+	for _, ch := range old {
+		if ch != nil {
+			ch.Close()
+		}
 	}
-	return h
+	for len(h.segs) < len(t.maps) {
+		h.segs = append(h.segs, nil)
+	}
+	h.segs = h.segs[:len(t.maps)]
+	if len(h.heads) < len(t.maps) {
+		h.heads = make([]int, len(t.maps))
+	}
+	h.tab = t
+}
+
+// at returns the sub-handle for maps index idx under table t, rebinding
+// first when the table moved since the handle's last operation.
+func (h *Handle[K, V]) at(t *route[K, V], idx int) *core.Handle[K, V] {
+	if h.tab != t {
+		h.rebind(t)
+	}
+	return h.hs[idx]
+}
+
+// pointEnter pins the route table and, during a migration, the key's
+// group gate, and returns the authoritative sub-handle for k. The
+// caller runs its operation and then calls pointExit(t, g).
+func (h *Handle[K, V]) pointEnter(k K) (ch *core.Handle[K, V], t *route[K, V], g int) {
+	s := h.s
+	t = s.enter(h.stripe)
+	mixed := mix(s.hash(k))
+	g = -1
+	if m := t.mig; m != nil {
+		g = m.groupOf(mixed)
+		m.gates[g].RLock()
+	}
+	return h.at(t, t.idxFor(mixed)), t, g
+}
+
+func (h *Handle[K, V]) pointExit(t *route[K, V], g int) {
+	if g >= 0 {
+		t.mig.gates[g].RUnlock()
+	}
+	h.s.exit(t, h.stripe)
+}
+
+// authEnter pins the route table, acquires every migration gate when a
+// resize is in flight, and returns the authoritative shard indices —
+// the set covering the key space exactly once for as long as the gates
+// are held. The caller must call authExit(t).
+func (h *Handle[K, V]) authEnter() (*route[K, V], []int) {
+	t := h.s.enter(h.stripe)
+	if h.tab != t {
+		h.rebind(t)
+	}
+	m := t.mig
+	if m == nil {
+		return t, t.steadyAuth
+	}
+	for g := range m.gates {
+		m.gates[g].RLock()
+	}
+	h.auth = m.authIndices(h.auth[:0])
+	return t, h.auth
+}
+
+func (h *Handle[K, V]) authExit(t *route[K, V]) {
+	if m := t.mig; m != nil {
+		for g := range m.gates {
+			m.gates[g].RUnlock()
+		}
+	}
+	h.s.exit(t, h.stripe)
 }
 
 // Sharded returns the map this handle operates on.
@@ -164,29 +263,44 @@ func (h *Handle[K, V]) Stats() (attempts, fastAborts, fastCommits, slowCommits u
 
 // Lookup returns the value associated with k.
 func (h *Handle[K, V]) Lookup(k K) (V, bool) {
-	return h.hs[h.s.shardOf(k)].Lookup(k)
+	ch, t, g := h.pointEnter(k)
+	v, ok := ch.Lookup(k)
+	h.pointExit(t, g)
+	return v, ok
 }
 
 // Contains reports whether k is present.
 func (h *Handle[K, V]) Contains(k K) bool {
-	return h.hs[h.s.shardOf(k)].Contains(k)
+	ch, t, g := h.pointEnter(k)
+	ok := ch.Contains(k)
+	h.pointExit(t, g)
+	return ok
 }
 
 // Insert adds (k, v) if k is absent and reports whether it did.
 func (h *Handle[K, V]) Insert(k K, v V) bool {
-	return h.hs[h.s.shardOf(k)].Insert(k, v)
+	ch, t, g := h.pointEnter(k)
+	ok := ch.Insert(k, v)
+	h.pointExit(t, g)
+	return ok
 }
 
 // Remove deletes k and reports whether it was present.
 func (h *Handle[K, V]) Remove(k K) bool {
-	return h.hs[h.s.shardOf(k)].Remove(k)
+	ch, t, g := h.pointEnter(k)
+	ok := ch.Remove(k)
+	h.pointExit(t, g)
+	return ok
 }
 
 // Put sets k to v unconditionally, reporting whether a previous value
 // was replaced. Replacement stays within one shard, so it is atomic in
 // both modes.
 func (h *Handle[K, V]) Put(k K, v V) bool {
-	return h.hs[h.s.shardOf(k)].Put(k, v)
+	ch, t, g := h.pointEnter(k)
+	ok := ch.Put(k, v)
+	h.pointExit(t, g)
+	return ok
 }
 
 // Point queries probe every shard and reduce. In shared mode the probes
@@ -214,10 +328,12 @@ func (h *Handle[K, V]) Pred(k K) (K, V, bool) {
 	return h.reduce(k, true, func(op *core.Txn[K, V], k K) (K, V, bool) { return op.Pred(k) })
 }
 
-// reduce runs the per-shard point query q against every shard and keeps
-// the best answer (max when wantMax, min otherwise).
+// reduce runs the per-shard point query q against every authoritative
+// shard and keeps the best answer (max when wantMax, min otherwise).
 func (h *Handle[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K) (K, V, bool)) (K, V, bool) {
 	s := h.s
+	t, auth := h.authEnter()
+	defer h.authExit(t)
 	var bk K
 	var bv V
 	var bok bool
@@ -227,7 +343,7 @@ func (h *Handle[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K)
 		}
 	}
 	if s.isolated {
-		for i := range h.hs {
+		for _, i := range auth {
 			hi := h.hs[i]
 			var ck K
 			var cv V
@@ -247,7 +363,7 @@ func (h *Handle[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K)
 	}
 	_ = s.rt.Atomic(func(tx *stm.Tx) error {
 		bok = false
-		for i := range h.hs {
+		for _, i := range auth {
 			if ck, cv, ok := q(h.hs[i].Bind(tx), k); ok {
 				keep(ck, cv)
 			}
@@ -264,27 +380,30 @@ func (h *Handle[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K)
 // transaction (the query's linearization point) and then runs each
 // shard's resumable safe-node traversal. In isolated mode each shard
 // answers with its own two-path range and the merge is only per-shard
-// snapshot consistent.
+// snapshot consistent. During a resize the walk covers the
+// authoritative shard set, held stable by the migration gates.
 func (h *Handle[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 	s := h.s
-	if s.isolated || len(h.hs) == 1 {
-		for i := range h.hs {
+	t, auth := h.authEnter()
+	defer h.authExit(t)
+	if s.isolated || len(auth) == 1 {
+		for _, i := range auth {
 			h.segs[i] = h.hs[i].Range(l, r, h.segs[i][:0])
 		}
-		return h.merge(out)
+		return h.merge(auth, out)
 	}
-	return core.TwoPathRange(s.shards[0].Config(), &h.stats, &h.adaptSkip,
-		func() ([]Pair[K, V], error) { return h.rangeFast(l, r, out) },
-		func() []Pair[K, V] { return h.rangeSlow(l, r, out) })
+	return core.TwoPathRange(t.maps[0].Config(), &h.stats, &h.adaptSkip,
+		func() ([]Pair[K, V], error) { return h.rangeFast(auth, l, r, out) },
+		func() []Pair[K, V] { return h.rangeSlow(auth, l, r, out) })
 }
 
 // rangeFast is the cross-shard fast path: one transaction that walks
 // every shard's [l, r] segment and does not retry. Because all shards
 // share one runtime, a commit means every segment belongs to the same
 // snapshot.
-func (h *Handle[K, V]) rangeFast(l, r K, out []Pair[K, V]) ([]Pair[K, V], error) {
+func (h *Handle[K, V]) rangeFast(auth []int, l, r K, out []Pair[K, V]) ([]Pair[K, V], error) {
 	err := h.s.rt.TryOnce(func(tx *stm.Tx) error {
-		for i := range h.hs {
+		for _, i := range auth {
 			h.segs[i] = h.hs[i].Bind(tx).Range(l, r, h.segs[i][:0])
 		}
 		return nil
@@ -292,7 +411,7 @@ func (h *Handle[K, V]) rangeFast(l, r K, out []Pair[K, V]) ([]Pair[K, V], error)
 	if err != nil {
 		return out, err
 	}
-	return h.merge(out), nil
+	return h.merge(auth, out), nil
 }
 
 // rangeSlow is the cross-shard slow path: registering with every
@@ -300,47 +419,47 @@ func (h *Handle[K, V]) rangeFast(l, r K, out []Pair[K, V]) ([]Pair[K, V], error)
 // counter at one commit instant, so the per-shard safe-node traversals
 // — each individually resumable — jointly reconstruct the snapshot at
 // that instant.
-func (h *Handle[K, V]) rangeSlow(l, r K, out []Pair[K, V]) []Pair[K, V] {
-	srs := make([]*core.SlowRange[K, V], len(h.hs))
+func (h *Handle[K, V]) rangeSlow(auth []int, l, r K, out []Pair[K, V]) []Pair[K, V] {
+	srs := make([]*core.SlowRange[K, V], len(auth))
 	_ = h.s.rt.Atomic(func(tx *stm.Tx) error {
-		for i := range h.hs {
-			srs[i] = h.hs[i].Map().BeginSlowRangeTx(tx, h.hs[i], l)
+		for j, i := range auth {
+			srs[j] = h.hs[i].Map().BeginSlowRangeTx(tx, h.hs[i], l)
 		}
 		return nil
 	})
-	for i := range srs {
-		h.segs[i] = srs[i].Collect(r, h.segs[i][:0])
+	for j, i := range auth {
+		h.segs[i] = srs[j].Collect(r, h.segs[i][:0])
 	}
-	for i := range srs {
-		srs[i].Finish()
+	for j := range srs {
+		srs[j].Finish()
 	}
-	return h.merge(out)
+	return h.merge(auth, out)
 }
 
-// merge k-way merges the handle's per-shard segment buffers into out.
-// Segments are sorted and pairwise disjoint (shards partition the key
-// space), so a linear selection per element suffices at the shard
-// counts this package allows.
-func (h *Handle[K, V]) merge(out []Pair[K, V]) []Pair[K, V] {
+// merge k-way merges the per-shard segment buffers of the given shard
+// indices into out. Segments are sorted and pairwise disjoint (the
+// authoritative shards partition the key space), so a linear selection
+// per element suffices at the shard counts this package allows.
+func (h *Handle[K, V]) merge(auth []int, out []Pair[K, V]) []Pair[K, V] {
 	less := h.s.less
-	idx := h.heads
-	for i := range idx {
-		idx[i] = 0
+	idx := h.heads[:len(auth)]
+	for j := range idx {
+		idx[j] = 0
 	}
 	for {
 		best := -1
-		for i := range h.segs {
-			if idx[i] >= len(h.segs[i]) {
+		for j, i := range auth {
+			if idx[j] >= len(h.segs[i]) {
 				continue
 			}
-			if best < 0 || less(h.segs[i][idx[i]].Key, h.segs[best][idx[best]].Key) {
-				best = i
+			if best < 0 || less(h.segs[i][idx[j]].Key, h.segs[auth[best]][idx[best]].Key) {
+				best = j
 			}
 		}
 		if best < 0 {
 			return out
 		}
-		out = append(out, h.segs[best][idx[best]])
+		out = append(out, h.segs[auth[best]][idx[best]])
 		idx[best]++
 	}
 }

@@ -7,6 +7,10 @@
 // k-way merging per-shard segments, which stay sorted and disjoint
 // because the shards partition the key space.
 //
+// The partition count is a starting point, not a constraint: Resize
+// live-migrates keys between shards under traffic (see resize.go), so
+// Config.Shards only chooses the initial layout.
+//
 // # Consistency model
 //
 // By default every shard runs on one shared STM runtime whose commit
@@ -59,14 +63,22 @@ const maxShards = 256
 
 // Sharded is a concurrent ordered map hash-partitioned across S
 // independent skip hash shards. All methods are safe for concurrent
-// use; hot paths should go through per-goroutine Handles.
+// use; hot paths should go through per-goroutine Handles. The shard
+// count set at construction is only initial — Resize migrates to a new
+// count under live traffic.
 type Sharded[K comparable, V any] struct {
 	less     func(a, b K) bool
 	hash     func(K) uint64
 	rt       *stm.Runtime // shared runtime; nil when isolated
-	shards   []*core.Map[K, V]
-	shift    uint // shard index = mix(hash(k)) >> shift
 	isolated bool
+	// baseCfg is the construction config; Resize re-derives per-shard
+	// configs from it at the new count.
+	baseCfg core.Config
+	// tab is the current route table (shard list + routing state).
+	// Operations pin it via enter/exit; Resize swaps it.
+	tab atomic.Pointer[route[K, V]]
+	// stripeCtr deals pin stripes to handles round-robin.
+	stripeCtr atomic.Uint32
 
 	handlePool sync.Pool
 	mu         sync.Mutex
@@ -74,7 +86,12 @@ type Sharded[K comparable, V any] struct {
 	// retired accumulates shard-level range counters of handles that
 	// left the registry (closed handles, released pooled handles).
 	retired core.HandleStats
-	closed  atomic.Bool
+	// retiredSTM/retiredRange/retiredMaint bank the counters of shards
+	// closed by a resize, so aggregate stats never go backwards.
+	retiredSTM   stm.Stats
+	retiredRange core.RangeStats
+	retiredMaint core.MaintenanceStats
+	closed       atomic.Bool
 	// closeDone lets concurrent Close calls wait for the one closing
 	// goroutine (durability makes "Close returned" mean "flushed").
 	closeDone chan struct{}
@@ -83,6 +100,25 @@ type Sharded[K comparable, V any] struct {
 	// records); in isolated mode each shard owns its own engine instead
 	// and this stays nil.
 	persister core.Persister
+	// logger is the shared-mode WAL logger; Resize attaches it to
+	// destination shards so migrated keys keep logging.
+	logger core.OpLogger[K, V]
+
+	// resizeMu serializes Resize calls with each other and with Close.
+	resizeMu sync.Mutex
+	hooks    ResizeHooks[K, V]
+	// maintObs/commitObs remember the installed observers so shards
+	// created by Resize inherit them (s.mu guards both; commitObs is
+	// only consulted when isolated — the shared runtime outlives
+	// resizes on its own).
+	maintObs  func(nodes int, d time.Duration)
+	commitObs stm.CommitObserver
+
+	rsResizes      atomic.Uint64
+	rsKeysCopied   atomic.Uint64
+	rsDeltaApplied atomic.Uint64
+	rsCutovers     atomic.Uint64
+	resizeObs      atomic.Pointer[func(group, tail int, d time.Duration)]
 }
 
 // normalizeShards clamps a requested shard count to a power of two in
@@ -128,22 +164,23 @@ func perShardConfig(cfg core.Config, shards int) core.Config {
 func ResolveShards(n int) int { return normalizeShards(n) }
 
 // New creates a sharded skip hash ordered by less and hashed by hash.
-// cfg.Shards selects the partition count (0 derives a power of two from
-// GOMAXPROCS) and cfg.Buckets the total hash-table budget across
-// shards; the remaining fields configure each shard as in core.New.
-// hash must mix its input well: the top bits pick the shard (after one
-// extra multiplicative mix) and the low bits the bucket chain.
+// cfg.Shards selects the initial partition count (0 derives a power of
+// two from GOMAXPROCS; Resize changes it later) and cfg.Buckets the
+// total hash-table budget across shards; the remaining fields configure
+// each shard as in core.New. hash must mix its input well: the top bits
+// pick the shard (after one extra multiplicative mix) and the low bits
+// the bucket chain.
 func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg core.Config) *Sharded[K, V] {
 	n := normalizeShards(cfg.Shards)
 	s := &Sharded[K, V]{
 		less:      less,
 		hash:      hash,
-		shards:    make([]*core.Map[K, V], n),
-		shift:     uint(64 - bits.TrailingZeros(uint(n))),
 		isolated:  cfg.IsolatedShards,
+		baseCfg:   cfg,
 		closeDone: make(chan struct{}),
 	}
 	per := perShardConfig(cfg, n)
+	shards := make([]*core.Map[K, V], n)
 	if s.isolated {
 		// Private runtime per shard, and a private clock when the
 		// caller leaves cfg.Clock nil: core.New mints one through
@@ -151,8 +188,8 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg c
 		// A non-nil cfg.Clock instance is shared by every shard —
 		// counter clocks then still tick one cacheline, so prefer the
 		// factory for per-shard gv1/gv5.
-		for i := range s.shards {
-			s.shards[i] = core.New[K, V](less, hash, per)
+		for i := range shards {
+			shards[i] = core.New[K, V](less, hash, per)
 		}
 	} else {
 		clock := cfg.Clock
@@ -160,10 +197,11 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg c
 			clock = cfg.ClockFactory()
 		}
 		s.rt = stm.New(stm.WithClock(clock))
-		for i := range s.shards {
-			s.shards[i] = core.NewIn[K, V](s.rt, less, hash, per)
+		for i := range shards {
+			shards[i] = core.NewIn[K, V](s.rt, less, hash, per)
 		}
 	}
+	s.tab.Store(newSteadyRoute(shards))
 	s.handlePool.New = func() any { return s.NewTransientHandle() }
 	return s
 }
@@ -172,17 +210,20 @@ func New[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg c
 // handles' removal buffers flush, and the orphan queues drain, so a
 // quiescent map holds no stitched logically-deleted nodes afterwards;
 // on durable maps the write-ahead log is then flushed and fsynced.
-// Close is idempotent and safe concurrent with operations, Quiesce, and
-// other Close calls — every call returns only after teardown (including
-// the durability flush) has completed. Operations issued after Close
-// fall back to inline reclamation and are no longer logged.
+// Close is idempotent and safe concurrent with operations, Quiesce,
+// Resize (it waits for an in-flight resize to finish), and other Close
+// calls — every call returns only after teardown (including the
+// durability flush) has completed. Operations issued after Close fall
+// back to inline reclamation and are no longer logged.
 func (s *Sharded[K, V]) Close() {
 	if s.closed.Swap(true) {
 		<-s.closeDone
 		return
 	}
 	defer close(s.closeDone)
-	for _, m := range s.shards {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	for _, m := range s.tab.Load().maps {
 		m.Close()
 	}
 	if s.persister != nil {
@@ -197,23 +238,49 @@ func (s *Sharded[K, V]) Close() {
 // the frontend. Isolated shards attach engines per shard instead (see
 // the skiphash Open constructors).
 func (s *Sharded[K, V]) AttachPersistence(l core.OpLogger[K, V], p core.Persister) {
-	for _, m := range s.shards {
+	for _, m := range s.tab.Load().maps {
 		m.AttachPersistence(l, nil)
 	}
+	s.logger = l
 	s.persister = p
 }
 
-// SnapshotChunks iterates every shard's key space in chunked consistent
-// reads for a durable snapshot; see core.Map.SnapshotChunks. Chunks
-// from different shards carry their own stamps — recovery's per-key
-// chunk watermarks make the union consistent without stopping writers.
+// SnapshotChunks iterates the authoritative shards' key spaces in
+// chunked consistent reads for a durable snapshot; see
+// core.Map.SnapshotChunks. Chunks from different shards carry their own
+// stamps — recovery's per-key chunk watermarks make the union
+// consistent without stopping writers. During a resize the walk covers
+// the shard set that was authoritative when it began; writes that move
+// later are in the WAL.
 func (s *Sharded[K, V]) SnapshotChunks(chunkSize int, fn func(stamp uint64, pairs []Pair[K, V]) error) error {
-	for _, m := range s.shards {
+	for _, m := range s.authMaps() {
 		if err := m.SnapshotChunks(chunkSize, fn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// authMaps snapshots the authoritative shard set — the maps that
+// jointly cover the key space exactly once at this instant.
+func (s *Sharded[K, V]) authMaps() []*core.Map[K, V] {
+	t := s.tab.Load()
+	m := t.mig
+	if m == nil {
+		return t.maps
+	}
+	for g := range m.gates {
+		m.gates[g].RLock()
+	}
+	idx := m.authIndices(nil)
+	out := make([]*core.Map[K, V], len(idx))
+	for i, j := range idx {
+		out[i] = t.maps[j]
+	}
+	for g := range m.gates {
+		m.gates[g].RUnlock()
+	}
+	return out
 }
 
 // Snapshot writes a durable snapshot now: through the frontend engine
@@ -248,7 +315,7 @@ func (s *Sharded[K, V]) durabilityOp(front func(core.Persister) error, per func(
 	}
 	durable := false
 	var first error
-	for _, m := range s.shards {
+	for _, m := range s.tab.Load().maps {
 		if m.Persister() == nil {
 			continue
 		}
@@ -275,7 +342,7 @@ func (s *Sharded[K, V]) HandleCount() int {
 	s.mu.Lock()
 	n := len(s.handles)
 	s.mu.Unlock()
-	for _, m := range s.shards {
+	for _, m := range s.tab.Load().maps {
 		n += m.HandleCount()
 	}
 	return n
@@ -283,17 +350,41 @@ func (s *Sharded[K, V]) HandleCount() int {
 
 // SetMaintenanceObserver installs fn on every shard; see
 // core.Map.SetMaintenanceObserver. Observations from different shards'
-// drains interleave on one observer.
+// drains interleave on one observer. Shards created by a later Resize
+// inherit the observer.
 func (s *Sharded[K, V]) SetMaintenanceObserver(fn func(nodes int, d time.Duration)) {
-	for _, m := range s.shards {
+	s.mu.Lock()
+	s.maintObs = fn
+	s.mu.Unlock()
+	for _, m := range s.tab.Load().maps {
 		m.SetMaintenanceObserver(fn)
 	}
 }
 
-// MaintenanceStats aggregates the reclamation counters of every shard.
+// SetCommitObserver installs o (or, with nil, removes it) on every
+// runtime backing the map: the one shared runtime, or each shard's
+// private runtime when isolated. Shards created by a later Resize
+// inherit the observer.
+func (s *Sharded[K, V]) SetCommitObserver(o stm.CommitObserver) {
+	s.mu.Lock()
+	s.commitObs = o
+	s.mu.Unlock()
+	if s.rt != nil {
+		s.rt.SetCommitObserver(o)
+		return
+	}
+	for _, m := range s.tab.Load().maps {
+		m.Runtime().SetCommitObserver(o)
+	}
+}
+
+// MaintenanceStats aggregates the reclamation counters of every shard,
+// including shards retired by resizes.
 func (s *Sharded[K, V]) MaintenanceStats() core.MaintenanceStats {
-	var agg core.MaintenanceStats
-	for _, m := range s.shards {
+	s.mu.Lock()
+	agg := s.retiredMaint
+	s.mu.Unlock()
+	for _, m := range s.tab.Load().maps {
 		agg = agg.Add(m.MaintenanceStats())
 	}
 	return agg
@@ -304,46 +395,60 @@ func (s *Sharded[K, V]) MaintenanceStats() core.MaintenanceStats {
 // SizeSlow it measures the deferred-reclamation backlog.
 func (s *Sharded[K, V]) StitchedSlow() int {
 	n := 0
-	for _, m := range s.shards {
+	for _, m := range s.authMaps() {
 		n += m.StitchedSlow()
 	}
 	return n
 }
 
-// shardOf maps a key to its shard. An extra multiplicative mix protects
-// against user hashes with weak high bits; the shard count is a power
-// of two, so the top bits select uniformly.
-func (s *Sharded[K, V]) shardOf(k K) int {
-	return int((s.hash(k) * 0x9e3779b97f4a7c15) >> s.shift)
+// Shards returns the current shard count: the live partition count in
+// steady state, or the target count while a resize is migrating toward
+// it. This is the operator-facing accessor surfaced through Stats.
+func (s *Sharded[K, V]) Shards() int {
+	t := s.tab.Load()
+	if t.mig != nil {
+		return t.mig.newN
+	}
+	return len(t.maps)
 }
 
-// NumShards returns the partition count.
-func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
+// NumShards returns the partition count; see Shards.
+func (s *Sharded[K, V]) NumShards() int { return s.Shards() }
 
-// ShardOf reports the index of the shard k is routed to. Callers
-// batching operations ahead of Atomic (the network server's
+// ShardOf reports the routing identity of the shard k is routed to.
+// Callers batching operations ahead of Atomic (the network server's
 // request coalescer) use it to keep a batch within one shard on
-// isolated-shard maps.
-func (s *Sharded[K, V]) ShardOf(k K) int { return s.shardOf(k) }
+// isolated-shard maps. During a resize the identity reflects the
+// per-group cutover state, so coalesced runs re-split at the new
+// boundaries; a run split moments before a cutover can still land
+// cross-shard and surface ErrCrossShard, exactly like a batch built
+// from stale hashes.
+func (s *Sharded[K, V]) ShardOf(k K) int {
+	return s.tab.Load().idxFor(mix(s.hash(k)))
+}
 
 // Isolated reports whether shards run on private STM runtimes.
 func (s *Sharded[K, V]) Isolated() bool { return s.isolated }
 
-// Shard exposes one partition (for stats and tests).
-func (s *Sharded[K, V]) Shard(i int) *core.Map[K, V] { return s.shards[i] }
+// Shard exposes one partition (for stats and tests); valid for
+// i < Shards() while no resize is in flight.
+func (s *Sharded[K, V]) Shard(i int) *core.Map[K, V] { return s.tab.Load().maps[i] }
 
 // Runtime returns the shared STM runtime, or nil when shards are
 // isolated (then each Shard(i).Runtime() is private).
 func (s *Sharded[K, V]) Runtime() *stm.Runtime { return s.rt }
 
 // STMStats aggregates transaction counters across every runtime backing
-// the map (one shared runtime, or one per shard when isolated).
+// the map (one shared runtime, or one per shard when isolated,
+// including shards retired by resizes).
 func (s *Sharded[K, V]) STMStats() stm.Stats {
 	if !s.isolated {
 		return s.rt.Stats()
 	}
-	var agg stm.Stats
-	for _, m := range s.shards {
+	s.mu.Lock()
+	agg := s.retiredSTM
+	s.mu.Unlock()
+	for _, m := range s.tab.Load().maps {
 		st := m.Runtime().Stats()
 		agg.Commits += st.Commits
 		agg.ReadOnlyCommits += st.ReadOnlyCommits
@@ -356,9 +461,11 @@ func (s *Sharded[K, V]) STMStats() stm.Stats {
 }
 
 // Prefetch warms the cache lines a point read of k will touch on its
-// home shard; see core.Map.Prefetch.
+// home shard; see core.Map.Prefetch. Routing is advisory during a
+// resize (the home may flip before the read).
 func (s *Sharded[K, V]) Prefetch(k K) {
-	s.shards[s.shardOf(k)].Prefetch(k)
+	t := s.tab.Load()
+	t.maps[t.idxFor(mix(s.hash(k)))].Prefetch(k)
 }
 
 // RangeStats aggregates range-path counters: the shard-level fast/slow
@@ -381,8 +488,12 @@ func (s *Sharded[K, V]) RangeStats() core.RangeStats {
 	agg.FastAborts += s.retired.RangeFastAborts.Load()
 	agg.FastCommits += s.retired.RangeFastCommits.Load()
 	agg.SlowCommits += s.retired.RangeSlowCommits.Load()
+	agg.FastAttempts += s.retiredRange.FastAttempts
+	agg.FastAborts += s.retiredRange.FastAborts
+	agg.FastCommits += s.retiredRange.FastCommits
+	agg.SlowCommits += s.retiredRange.SlowCommits
 	s.mu.Unlock()
-	for _, m := range s.shards {
+	for _, m := range s.tab.Load().maps {
 		st := m.RangeStats()
 		agg.FastAttempts += st.FastAttempts
 		agg.FastAborts += st.FastAborts
@@ -397,21 +508,25 @@ func (s *Sharded[K, V]) RangeStats() core.RangeStats {
 // operations; removals that commit after Quiesce returns are not
 // covered.
 func (s *Sharded[K, V]) Quiesce() {
-	for _, m := range s.shards {
+	for _, m := range s.tab.Load().maps {
 		m.Quiesce()
 	}
 }
 
 // CheckInvariants audits every shard's composition invariants plus the
 // partition invariant (every key lives in the shard its hash selects).
-// The map must be quiescent.
+// The map must be quiescent, with no resize in flight.
 func (s *Sharded[K, V]) CheckInvariants(opts core.CheckOptions) error {
-	for i, m := range s.shards {
+	t := s.tab.Load()
+	if t.mig != nil {
+		return fmt.Errorf("shard: CheckInvariants during a resize")
+	}
+	for i, m := range t.maps {
 		if err := m.CheckInvariants(opts); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		for k := range m.All() {
-			if home := s.shardOf(k); home != i {
+			if home := t.idxFor(mix(s.hash(k))); home != i {
 				return fmt.Errorf("shard %d: key %v belongs to shard %d", i, k, home)
 			}
 		}
@@ -423,7 +538,7 @@ func (s *Sharded[K, V]) CheckInvariants(opts core.CheckOptions) error {
 // protection; the map must be quiescent.
 func (s *Sharded[K, V]) SizeSlow() int {
 	n := 0
-	for _, m := range s.shards {
+	for _, m := range s.authMaps() {
 		n += m.SizeSlow()
 	}
 	return n

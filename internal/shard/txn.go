@@ -24,11 +24,17 @@ var ErrCrossShard = errors.New("shard: transaction spans multiple isolated shard
 // A Txn is only valid inside the closure it was handed to.
 type Txn[K comparable, V any] struct {
 	h *Handle[K, V]
+	// tab is the route table the batch was admitted under; it is pinned
+	// (and, during a migration, gated) for the batch's whole lifetime,
+	// so routing decisions inside the batch are stable.
+	tab *route[K, V]
 
 	// Shared mode: the enclosing transaction plus lazily bound
-	// per-shard views.
+	// per-shard views, and the authoritative index set the multi-shard
+	// operations walk.
 	tx    *stm.Tx
 	bound []*core.Txn[K, V]
+	auth  []int
 
 	// Isolated mode: the pinned shard's view ...
 	pinned int
@@ -38,9 +44,10 @@ type Txn[K comparable, V any] struct {
 	probe bool
 }
 
-// probeDone aborts the routing probe once the first operation's shard
-// is known.
-type probeDone struct{ shard int }
+// probeDone aborts the routing probe once the first operation's key is
+// known; the caller re-routes the mixed hash under the key's migration
+// gate, where the group's cutover flag cannot move.
+type probeDone struct{ mixed uint64 }
 
 // crossShard aborts a pinned (or probing) transaction that needs a
 // shard other than its own.
@@ -49,43 +56,39 @@ type crossShard struct{}
 // route returns the core view for k's shard, enforcing the pinning
 // discipline in isolated mode.
 func (t *Txn[K, V]) route(k K) *core.Txn[K, V] {
-	i := t.h.s.shardOf(k)
+	mixed := mix(t.h.s.hash(k))
 	if t.probe {
-		panic(probeDone{shard: i})
+		panic(probeDone{mixed: mixed})
 	}
+	i := t.tab.idxFor(mixed)
 	if t.core != nil {
 		if i != t.pinned {
 			panic(crossShard{})
 		}
 		return t.core
 	}
+	return t.at(i)
+}
+
+// at lazily binds and returns the shared-mode view for maps index i.
+func (t *Txn[K, V]) at(i int) *core.Txn[K, V] {
 	if t.bound[i] == nil {
 		t.bound[i] = t.h.hs[i].Bind(t.tx)
 	}
 	return t.bound[i]
 }
 
-// all returns every shard's bound view; only shared mode (or a
-// single-shard map) can satisfy it.
-func (t *Txn[K, V]) all() []*core.Txn[K, V] {
-	if t.probe {
-		if len(t.h.hs) == 1 {
-			panic(probeDone{shard: 0})
+// single returns the lone view of a single-shard steady-state map in
+// the probe/pinned paths, or aborts: only shared mode (or a one-shard
+// map with no resize in flight) can satisfy an all-shards operation.
+func (t *Txn[K, V]) single() *core.Txn[K, V] {
+	if len(t.tab.maps) == 1 && t.tab.mig == nil {
+		if t.probe {
+			panic(probeDone{})
 		}
-		panic(crossShard{})
+		return t.core
 	}
-	if t.core != nil {
-		if len(t.h.hs) == 1 {
-			return []*core.Txn[K, V]{t.core}
-		}
-		panic(crossShard{})
-	}
-	for i := range t.bound {
-		if t.bound[i] == nil {
-			t.bound[i] = t.h.hs[i].Bind(t.tx)
-		}
-	}
-	return t.bound
+	panic(crossShard{})
 }
 
 // Lookup returns the value associated with k.
@@ -126,12 +129,15 @@ func (t *Txn[K, V]) Pred(k K) (K, V, bool) {
 }
 
 func (t *Txn[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K) (K, V, bool)) (K, V, bool) {
+	if t.probe || t.core != nil {
+		return q(t.single(), k)
+	}
 	s := t.h.s
 	var bk K
 	var bv V
 	var bok bool
-	for _, op := range t.all() {
-		ck, cv, ok := q(op, k)
+	for _, i := range t.auth {
+		ck, cv, ok := q(t.at(i), k)
 		if !ok {
 			continue
 		}
@@ -147,17 +153,22 @@ func (t *Txn[K, V]) reduce(k K, wantMax bool, q func(op *core.Txn[K, V], k K) (K
 // collection spans every shard.
 func (t *Txn[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 	h := t.h
-	for i, op := range t.all() {
-		h.segs[i] = op.Range(l, r, h.segs[i][:0])
+	if t.probe || t.core != nil {
+		return t.single().Range(l, r, out)
 	}
-	return h.merge(out)
+	for _, i := range t.auth {
+		h.segs[i] = t.at(i).Range(l, r, h.segs[i][:0])
+	}
+	return h.merge(t.auth, out)
 }
 
 // Atomic runs fn as one transactional batch over the map.
 //
 // In shared mode (the default) the batch is a single STM transaction
 // that may span every shard: all operations commit or roll back
-// together, exactly as on the unsharded map.
+// together, exactly as on the unsharded map. During a resize the batch
+// routes against the authoritative shard set, held stable by the
+// migration gates for the batch's duration.
 //
 // In isolated mode the batch is pinned to one shard. A routing pass
 // first discovers the shard of the first operation (fn may therefore
@@ -167,33 +178,47 @@ func (t *Txn[K, V]) Range(l, r K, out []Pair[K, V]) []Pair[K, V] {
 // transactional semantics; a batch that touches a second shard fails
 // with ErrCrossShard and leaves the map unchanged. Operations that need
 // all shards at once (Range, Ceil, Floor, Succ, Pred) fail the same way
-// unless the map has a single shard.
+// unless the map has a single shard. A resize narrows co-hashing
+// transiently: keys that shared a shard may land on different
+// destination shards once their group cuts over.
 func (h *Handle[K, V]) Atomic(fn func(op *Txn[K, V]) error) error {
 	s := h.s
 	if !s.isolated {
-		bound := make([]*core.Txn[K, V], len(h.hs))
+		t, auth := h.authEnter()
+		defer h.authExit(t)
+		bound := make([]*core.Txn[K, V], len(t.maps))
 		return s.rt.Atomic(func(tx *stm.Tx) error {
 			clear(bound)
-			return fn(&Txn[K, V]{h: h, tx: tx, bound: bound})
+			return fn(&Txn[K, V]{h: h, tab: t, tx: tx, bound: bound, auth: auth})
 		})
 	}
-	pin, err, decided := h.probeShard(fn)
+	t := s.enter(h.stripe)
+	defer s.exit(t, h.stripe)
+	if h.tab != t {
+		h.rebind(t)
+	}
+	mixed, err, decided := h.probeShard(t, fn)
 	if !decided {
 		return err // fn performed no map operations, or crossed shards
 	}
-	return h.runPinned(pin, fn)
+	if m := t.mig; m != nil {
+		g := m.groupOf(mixed)
+		m.gates[g].RLock()
+		defer m.gates[g].RUnlock()
+	}
+	return h.runPinned(t, t.idxFor(mixed), fn)
 }
 
 // probeShard runs fn against a routing probe. decided reports whether a
-// first operation pinned a shard; otherwise err carries fn's outcome
-// (its plain return when it performed no operations, or ErrCrossShard
-// when its first operation already needed every shard).
-func (h *Handle[K, V]) probeShard(fn func(op *Txn[K, V]) error) (pin int, err error, decided bool) {
+// first operation produced a routing hash; otherwise err carries fn's
+// outcome (its plain return when it performed no operations, or
+// ErrCrossShard when its first operation already needed every shard).
+func (h *Handle[K, V]) probeShard(t *route[K, V], fn func(op *Txn[K, V]) error) (mixed uint64, err error, decided bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			switch pd := p.(type) {
 			case probeDone:
-				pin, decided = pd.shard, true
+				mixed, decided = pd.mixed, true
 				err = nil
 			case crossShard:
 				err = ErrCrossShard
@@ -202,13 +227,13 @@ func (h *Handle[K, V]) probeShard(fn func(op *Txn[K, V]) error) (pin int, err er
 			}
 		}
 	}()
-	return 0, fn(&Txn[K, V]{h: h, probe: true}), false
+	return 0, fn(&Txn[K, V]{h: h, tab: t, probe: true}), false
 }
 
 // runPinned executes fn as a transaction on the pinned shard,
 // converting a cross-shard abort into ErrCrossShard after the STM layer
 // has rolled the attempt back.
-func (h *Handle[K, V]) runPinned(pin int, fn func(op *Txn[K, V]) error) (err error) {
+func (h *Handle[K, V]) runPinned(t *route[K, V], pin int, fn func(op *Txn[K, V]) error) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if _, ok := p.(crossShard); ok {
@@ -219,6 +244,6 @@ func (h *Handle[K, V]) runPinned(pin int, fn func(op *Txn[K, V]) error) (err err
 		}
 	}()
 	return h.hs[pin].Atomic(func(op *core.Txn[K, V]) error {
-		return fn(&Txn[K, V]{h: h, pinned: pin, core: op})
+		return fn(&Txn[K, V]{h: h, tab: t, pinned: pin, core: op})
 	})
 }

@@ -46,6 +46,9 @@
 //	Stats                   -> server metrics in the Prometheus text
 //	                           exposition format, one length-prefixed
 //	                           blob (bounded by MaxStatsLen)
+//	Resize   n              -> live-migrate the default map to n shards
+//	                           (0 = automatic); the resulting count
+//	                           comes back in Val
 //
 // # Replication channel
 //
@@ -117,6 +120,12 @@ const (
 	// Prometheus text exposition format, as one length-prefixed blob
 	// (the STATS2 op; see MaxStatsLen).
 	OpStats
+	// OpResize live-resizes the default map's shard count: Key carries
+	// the requested count (0 = the map's automatic default), the
+	// response's Val the resulting live count. OpResize2 is the
+	// namespace-addressed variant.
+	OpResize
+	OpResize2
 )
 
 // IsV2Data reports whether op is a namespace-addressed v2 data op (its
@@ -189,6 +198,10 @@ func (o Op) String() string {
 		return "NsList"
 	case OpStats:
 		return "Stats"
+	case OpResize:
+		return "Resize"
+	case OpResize2:
+		return "Resize2"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -449,8 +462,10 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		}
 	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote, OpStats:
 		// no body
+	case OpResize:
+		dst = appendI64(dst, req.Key)
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
-		OpNsCreate, OpNsDrop, OpNsList:
+		OpNsCreate, OpNsDrop, OpNsList, OpResize2:
 		dst = appendRequest2(dst, req)
 	}
 	return finishFrame(dst, hdr)
@@ -492,8 +507,11 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		// no body
 	case OpStats:
 		dst = appendBytes(dst, resp.BVal)
+	case OpResize:
+		// The resulting shard count travels in Val.
+		dst = appendI64(dst, resp.Val)
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
-		OpNsCreate, OpNsDrop, OpNsList:
+		OpNsCreate, OpNsDrop, OpNsList, OpResize2:
 		dst = appendResponse2(dst, resp)
 	}
 	return finishFrame(dst, hdr)
@@ -616,8 +634,10 @@ func ParseRequest(payload []byte) (Request, error) {
 		}
 	case OpSync, OpSnapshot, OpPing, OpWatermark, OpPromote, OpStats:
 		// no body
+	case OpResize:
+		req.Key = d.i64("shards")
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
-		OpNsCreate, OpNsDrop, OpNsList:
+		OpNsCreate, OpNsDrop, OpNsList, OpResize2:
 		parseRequest2(&d, &req)
 	default:
 		return req, protoErrf("unknown op %d", uint8(req.Op))
@@ -679,8 +699,10 @@ func ParseResponse(payload []byte) (Response, error) {
 		// no body
 	case OpStats:
 		resp.BVal = d.bstr(MaxStatsLen, "stats")
+	case OpResize:
+		resp.Val = d.i64("shards")
 	case OpGet2, OpInsert2, OpPut2, OpDel2, OpRange2, OpBatch2, OpSync2, OpSnapshot2,
-		OpNsCreate, OpNsDrop, OpNsList:
+		OpNsCreate, OpNsDrop, OpNsList, OpResize2:
 		parseResponse2(&d, &resp)
 	default:
 		return resp, protoErrf("unknown op %d", uint8(resp.Op))

@@ -27,6 +27,8 @@ package wire
 //	Batch2   ns, n steps          -> n step results, applied atomically
 //	Sync2    ns                   -> fsync that namespace's WAL
 //	Snap2    ns                   -> snapshot that namespace now
+//	Resize2  ns, n                -> live-resize that namespace's map to
+//	                                 n shards; resulting count in Val
 //
 // The admin ops address namespaces by name, not id:
 //
@@ -180,6 +182,8 @@ func appendRequest2(dst []byte, req *Request) []byte {
 				dst = appendBytes(dst, s.Val)
 			}
 		}
+	case OpResize2:
+		dst = appendI64(dst, req.Key)
 	case OpSync2, OpSnapshot2:
 		// namespace id only
 	}
@@ -219,6 +223,8 @@ func appendResponse2(dst []byte, resp *Response) []byte {
 			dst = appendString(dst, ns.Name)
 			dst = appendBool(dst, ns.Durable)
 		}
+	case OpResize2:
+		dst = appendI64(dst, resp.Val)
 	case OpSync2, OpSnapshot2, OpNsDrop:
 		// no body
 	}
@@ -318,6 +324,8 @@ func parseRequest2(d *decoder, req *Request) {
 				req.BSteps = append(req.BSteps, s)
 			}
 		}
+	case OpResize2:
+		req.Key = d.i64("shards")
 	case OpSync2, OpSnapshot2:
 		// namespace id only
 	}
@@ -383,6 +391,8 @@ func parseResponse2(d *decoder, resp *Response) {
 				resp.Namespaces = append(resp.Namespaces, ns)
 			}
 		}
+	case OpResize2:
+		resp.Val = d.i64("shards")
 	case OpSync2, OpSnapshot2, OpNsDrop:
 		// no body
 	}

@@ -27,12 +27,13 @@ func TestRequest2RoundTrip(t *testing.T) {
 		{ID: 12, Op: OpNsCreate, Name: "", Durable: false, Fsync: NsFsyncDefault},
 		{ID: 13, Op: OpNsDrop, Name: "news-articles"},
 		{ID: 14, Op: OpNsList},
+		{ID: 15, Op: OpResize2, NS: 7, Key: 16},
 	}
 	for _, req := range reqs {
 		got := roundTripRequest(t, req)
 		if got.ID != req.ID || got.Op != req.Op || got.NS != req.NS ||
 			!bytes.Equal(got.BKey, req.BKey) || !bytes.Equal(got.BVal, req.BVal) ||
-			got.Max != req.Max || got.NoHi != req.NoHi ||
+			got.Max != req.Max || got.NoHi != req.NoHi || got.Key != req.Key ||
 			got.Name != req.Name || got.Durable != req.Durable || got.Fsync != req.Fsync ||
 			len(got.BSteps) != len(req.BSteps) {
 			t.Fatalf("%s: round trip %+v -> %+v", req.Op, req, got)
@@ -72,11 +73,13 @@ func TestResponse2RoundTrip(t *testing.T) {
 		}},
 		{ID: 13, Op: OpGet2, Status: StatusNsNotFound, Msg: "namespace 9 not found"},
 		{ID: 14, Op: OpNsCreate, Status: StatusNsExists, Msg: "articles exists"},
+		{ID: 15, Op: OpResize2, Val: 8},
 	}
 	for _, resp := range resps {
 		got := roundTripResponse(t, resp)
 		if got.ID != resp.ID || got.Op != resp.Op || got.Status != resp.Status ||
 			got.Ok != resp.Ok || got.NsID != resp.NsID || got.Msg != resp.Msg ||
+			got.Val != resp.Val ||
 			!bytes.Equal(got.BVal, resp.BVal) ||
 			len(got.BPairs) != len(resp.BPairs) || len(got.BSteps) != len(resp.BSteps) ||
 			!reflect.DeepEqual(got.Namespaces, resp.Namespaces) &&

@@ -55,6 +55,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		}},
 		{ID: 7, Op: OpSync},
 		{ID: 8, Op: OpSnapshot},
+		{ID: 9, Op: OpResize, Key: 16},
 		{ID: math.MaxUint64, Op: OpPing},
 	}
 	for _, req := range reqs {
@@ -85,6 +86,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 10, Op: OpBatch, Status: StatusCrossShard, Msg: "spans shards"},
 		{ID: 11, Op: OpSync, Status: StatusNotDurable, Msg: "no durability"},
 		{ID: 12, Op: OpGet, Status: StatusShuttingDown},
+		{ID: 13, Op: OpResize, Val: 32},
+		{ID: 14, Op: OpResize, Status: StatusErr, Msg: "backend is not resizable"},
 	}
 	for _, resp := range resps {
 		got := roundTripResponse(t, resp)

@@ -247,6 +247,12 @@ func (c *Client) Sync() error { return c.pick().Sync() }
 // Snapshot makes the server write a durable snapshot now.
 func (c *Client) Snapshot() error { return c.pick().Snapshot() }
 
+// Resize asks the server to live-migrate its default map to n shards
+// (rounded up to a power of two; 0 = the map's automatic default) and
+// returns the resulting count. The migration serves reads and writes
+// throughout; see skiphash.Sharded.Resize for the consistency contract.
+func (c *Client) Resize(n int) (int, error) { return c.pick().Resize(n) }
+
 // Ping round-trips an empty request.
 func (c *Client) Ping() error { return c.pick().Ping() }
 
@@ -501,6 +507,13 @@ func (cn *Conn) Snapshot() error {
 func (cn *Conn) Ping() error {
 	_, err := cn.Do(&wire.Request{Op: wire.OpPing})
 	return err
+}
+
+// Resize live-migrates the server's default map to n shards; see
+// Client.Resize.
+func (cn *Conn) Resize(n int) (int, error) {
+	resp, err := cn.Do(&wire.Request{Op: wire.OpResize, Key: int64(n)})
+	return int(resp.Val), err
 }
 
 // Watermark reports the server's commit-stamp watermark.

@@ -146,16 +146,16 @@ func serveBackend(t *testing.T, be server.Backend) string {
 }
 
 func TestGetAtFansOutOverReplicas(t *testing.T) {
-	primary := skiphash.NewInt64[int64](skiphash.Config{})
+	primary := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	primary.Put(1, 100)
 	pAddr := serveBackend(t, server.NewMapBackend(primary))
 
 	// Replica A is stale in both senses: watermark below any barrier
 	// and a wrong (old) value. Replica B is caught up.
-	stale := skiphash.NewInt64[int64](skiphash.Config{})
+	stale := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	stale.Put(1, -1)
 	staleAddr := serveBackend(t, &stampedBackend{Backend: server.NewMapBackend(stale), watermark: 5})
-	fresh := skiphash.NewInt64[int64](skiphash.Config{})
+	fresh := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	fresh.Put(1, 100)
 	freshAddr := serveBackend(t, &stampedBackend{Backend: server.NewMapBackend(fresh), watermark: 50})
 

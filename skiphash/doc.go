@@ -1,0 +1,234 @@
+// Package skiphash is the public API of the skip hash: a fast,
+// linearizable, concurrent ordered map built on software transactional
+// memory, reproducing Rodriguez, Aksenov and Spear, "Skip Hash: A Fast
+// Ordered Map Via Software Transactional Memory".
+//
+// # Construction
+//
+// The surface is two generic entry points per shape — New for
+// in-memory maps, Open for durable ones (Open with a nil
+// Config.Durability is exactly New):
+//
+//	m := skiphash.New[int64, string](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
+//	d, err := skiphash.Open[int64, string](skiphash.Int64Less, skiphash.Hash64,
+//	    skiphash.Config{Durability: &skiphash.Durability{Dir: dir}},
+//	    skiphash.Int64Codec(), skiphash.StringCodec())
+//
+// and their hash-partitioned counterparts NewSharded / OpenSharded:
+//
+//	s := skiphash.NewSharded[string, string](skiphash.StringLess, skiphash.HashString,
+//	    skiphash.Config{Shards: 16})
+//
+// less supplies the ordering, hash the distribution over shards (top
+// bits) and buckets (low bits); Int64Less/Hash64 and
+// StringLess/HashString are the stock pairs for the two key types the
+// repository exercises end to end. The remaining typed constructors
+// (NewInt64, NewString, OpenInt64Sharded, ...) predate this surface;
+// they survive as deprecated one-line wrappers so no caller breaks, and
+// new code should not use them.
+//
+// Config.Shards is the initial partition count, not a lifetime
+// commitment — see the Resharding section below.
+//
+// # Design
+//
+// A skip hash composes two transactional structures behind one
+// abstraction: a closed-addressing hash map routing each key to the node
+// holding it, and a doubly linked skip list keeping the nodes ordered.
+// Every elemental operation is a single STM transaction, which makes the
+// composition trivially atomic and yields O(1) expected complexity for
+// everything except successful insertion and absent-key point queries
+// (those pay one O(log n) skip list search).
+//
+// Range queries use a fast-path/slow-path scheme. The fast path runs the
+// whole query as one transaction that does not retry; under contention
+// or for very long ranges it falls back to a slow path coordinated by a
+// range query coordinator (RQC): the query takes a version number,
+// traverses from safe node to safe node in a resumable transaction, and
+// logically deleted nodes it still needs are kept stitched until it
+// finishes.
+//
+// Point reads (Lookup, Contains) go further: they first try an
+// optimistic fast path that bypasses the STM entirely, walking the hash
+// index raw and validating the bucket's ownership record word before
+// and after the walk (a seqlock-style sample/revalidate, with no clock
+// read and no transaction descriptor). A validated walk is linearizable
+// as-is; any interference falls back to the ordinary read-only
+// transaction, which remains the source of truth.
+// Config.DisableReadFastPath disables the bypass.
+//
+// # Usage
+//
+//	m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
+//	m.Insert(42, 420)
+//	v, ok := m.Lookup(42)
+//	pairs := m.Range(10, 100, nil)
+//
+// Hot paths should give each goroutine its own Handle, closed when the
+// worker is done:
+//
+//	h := m.NewHandle()
+//	defer h.Close()
+//	h.Insert(1, 10)
+//
+// Because the map is STM-based, multi-key atomicity comes for free:
+//
+//	_ = m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
+//	    op.Remove(1)
+//	    op.Insert(2, 20) // observers see both or neither
+//	    return nil
+//	})
+//
+// # Sharding
+//
+// For machines with many cores, NewSharded hash-partitions the map
+// across Config.Shards independent skip hashes (default: a power of two
+// derived from GOMAXPROCS), each a complete hash-index + skip list +
+// range-query coordinator, so point operations on different shards
+// share no cachelines. Ordered operations are k-way merged across
+// shards. By default all shards run on one STM runtime whose monotonic
+// commit clock writes no shared memory, which keeps ranges, point
+// queries and Atomic batches fully linearizable across shards:
+//
+//	m := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64,
+//	    skiphash.Config{Shards: 16})
+//
+// Setting Config.IsolatedShards gives every shard a private STM runtime
+// and — via Config.ClockFactory, or by default — a private clock, so
+// counter-based clocks stop sharing a commit-tick cacheline (a non-nil
+// Config.Clock instance would still be shared by every shard). The
+// price is a weaker cross-shard contract: ranges and iterators merge per-shard snapshots taken at
+// distinct instants, and an Atomic batch must stay within one shard; a
+// batch whose keys span shards fails with ErrCrossShard rather than
+// silently losing atomicity.
+//
+// # Resharding
+//
+// Config.Shards is only the initial partition count: Sharded.Resize
+// live-migrates the map to a new power-of-two count while reads and
+// writes keep serving. The migration copies each hash-space group
+// through bounded stamp-consistent snapshot chunks, replays the
+// commit-ordered delta of writes that landed during the copy, and cuts
+// the group's routing over to the destination shards under a brief
+// per-group write pause; an epoch-style route table guarantees every
+// key has exactly one authoritative shard at every instant. In shared
+// mode the whole migration is invisible to linearizability; in isolated
+// mode groups cut over one at a time under the usual per-shard
+// contract. Sharded.Shards reports the live count,
+// Sharded.ResizeStats the migration counters, and the serving stack
+// exposes both (RESIZE wire op, client.Resize, skiphashd -shards as the
+// initial count). See the README's Resharding section for the protocol
+// and operational guidance.
+//
+// # Durability and recovery
+//
+// Setting Config.Durability and constructing through Open (or
+// OpenSharded) makes the map persistent: every committed insert, remove
+// and Atomic batch is appended to a CRC-framed write-ahead log tagged
+// with its STM commit stamp — the paper's global-version clock gives
+// the log a total order for free — and background snapshots, taken in
+// chunked consistent reads while writers proceed, bound replay and
+// truncate covered segments. Open recovers the newest valid snapshot
+// plus the strictly-newer log tail, tolerating a torn final record
+// after a crash and rejecting checksum corruption with an error
+// matching ErrCorrupt.
+//
+// The fsync-policy contract (Durability.Fsync): FsyncAlways
+// group-commits — when an update returns, its record is fsynced, so a
+// crash loses nothing acknowledged; FsyncInterval (the default) fsyncs
+// in the background at least every Durability.FsyncEvery, bounding loss
+// to that window; FsyncNone never fsyncs while running and is only as
+// durable as the OS page cache (power loss can cost everything since
+// the last snapshot or Sync). All policies flush and fsync on a clean
+// Close; Map.Sync forces durability on demand and Map.Snapshot writes a
+// snapshot now. Atomic batches are single log records: recovery sees a
+// batch entirely or not at all, including batches spanning shards on
+// the shared-runtime sharded map.
+//
+// Operations report their in-memory result; they cannot individually
+// report a durability failure (by the time the log is involved, the
+// transaction has committed). A log I/O error — a full or failing disk
+// — is sticky: from that point the engine stops logging, and Map.Sync,
+// Map.Snapshot and the Persister's Err all return the error. An update
+// that commits while Close is already draining (or after it) cannot be
+// logged either; the divergence is counted and reported by Err and the
+// Persister's Close, so quiesce writers before Close when every
+// acknowledged update must be durable. Map.Close flushes but cannot
+// return an error (Close has no error result), so a checked shutdown is
+// Sync then Close, then Persister().Err(). Deployments that must bound
+// data loss under disk failure should check Sync at checkpoints
+// (FsyncAlways callers: Err after critical writes) rather than rely on
+// per-operation acknowledgments.
+//
+// Durable sharded maps in isolated mode keep one engine per shard in
+// generation-suffixed subdirectories, with a meta record tracking the
+// live shard count; reopen recovers at the recorded count, so resizes
+// survive restarts. A crash strictly inside a resize recovers the
+// previous generation, which may lose writes accepted during the
+// migration window itself; shared mode's single WAL has no such window.
+//
+// # Serving
+//
+// The map embeds; cmd/skiphashd serves. The daemon exposes a sharded
+// (optionally durable) map over TCP or a unix socket speaking a
+// CRC-framed binary protocol (internal/wire), with pipelined requests
+// coalesced into atomic transactions at the server (internal/server);
+// the skiphash/client package is the matching client, whose typed
+// errors are these same sentinels — errors.Is(err, ErrCrossShard)
+// holds whether the Atomic that crossed isolated shards ran in-process
+// or on the far side of a socket.
+//
+// The wire speaks two op families over one framing. The v1 ops carry
+// fixed 8-byte int64 keys and values and address the daemon's default
+// map. The v2 ops carry length-prefixed byte-string keys and values
+// and a namespace id: one daemon hosts many named byte-string maps,
+// created and dropped at runtime or
+// pinned at boot (skiphashd -ns / -ns-root), each durable namespace
+// with its own WAL directory and fsync policy that survive restarts.
+// The encoding is canonical — any frame the parser accepts re-encodes
+// byte-identically, fuzz-enforced — and malformed input is always a
+// connection-tearing ProtocolError, never a misdecoded message.
+// Per-namespace connection and coalescing quotas answer over-quota
+// requests with a busy status per request rather than tearing the
+// connection; the client surfaces namespace admin failures as
+// ErrNamespaceNotFound/ErrNamespaceExists, errors.Is-matchable across
+// the wire like every other sentinel.
+//
+// A durable daemon can additionally replicate: internal/repl streams
+// the commit-stamp-ordered WAL to live replicas that apply records
+// through the recovery replay rules and serve read-only traffic at an
+// advertised watermark (skiphashd -replicate-addr / -follow;
+// client.GetAt fans barriered reads out across replicas, and Promote
+// turns a replica into a writable successor whose clock is floored
+// above everything it applied). Commit stamps are comparable only
+// within one primary lineage — see internal/repl for the consistency
+// contract.
+//
+// # Observability
+//
+// Every layer surfaces counters through cheap Stats() accessors
+// (Sharded.STMStats, Map.MaintenanceStats, persist.Store.Stats,
+// repl.Replica.Stats), and the daemon assembles them — plus latency
+// histograms for commits, fsyncs and per-namespace requests, and a
+// slow-op ring tracer — into one internal/obs registry rendered as
+// Prometheus text exposition (skiphashd -metrics, the Stats wire op,
+// client.ServerStats). Metrics are strictly additive: the serving and
+// read fast paths write only striped atomics, never shared metric
+// state. See the README's Observability section for the endpoint and
+// series naming.
+//
+// # Handle lifecycle and maintenance
+//
+// Removals defer their physical unstitching through per-handle buffers
+// (§4.5 of the paper); the lifecycle subsystem guarantees those nodes
+// are reclaimed no matter what happens to the handle. Close a Handle
+// when its goroutine exits: the handle leaves the stats registry and
+// its buffered removals move to the map's orphan queue. The pooled
+// handles behind the convenience methods do this automatically on every
+// call. Orphaned nodes are unstitched in bounded transactional batches
+// — by a background maintainer goroutine when Config.Maintenance is
+// set (recommended for long-running servers; observe it through
+// Map.MaintenanceStats), or inline once the queue crosses a threshold
+// otherwise. Map.Close / Sharded.Close stops the maintainer and flushes
+// everything; maps with Maintenance set must be closed.
+package skiphash

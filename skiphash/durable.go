@@ -11,7 +11,6 @@ import (
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/stm"
-	"repro/internal/thashmap"
 )
 
 // Durability configures persistence for the Open constructors; set it
@@ -87,8 +86,10 @@ func Open[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg 
 }
 
 // OpenInt64 is Open for int64 keys (the paper's evaluation type).
+//
+// Deprecated: use Open[int64, V](Int64Less, Hash64, cfg, Int64Codec(), vals).
 func OpenInt64[V any](cfg Config, vals Codec[V]) (*Map[int64, V], error) {
-	return Open[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg, Int64Codec(), vals)
+	return Open[int64, V](Int64Less, Hash64, cfg, Int64Codec(), vals)
 }
 
 // OpenSharded creates — or recovers — a durable sharded skip hash.
@@ -101,9 +102,9 @@ func OpenInt64[V any](cfg Config, vals Codec[V]) (*Map[int64, V], error) {
 // With cfg.IsolatedShards every shard runs its own engine in a
 // per-shard subdirectory (shard-000, shard-001, ...): per-shard WAL
 // segments recovered into a consistent whole, matching isolated mode's
-// per-shard atomicity contract. The shard count is fixed by the first
-// open; reopening with a different count fails rather than splitting a
-// key's history across incomparable clock domains.
+// per-shard atomicity contract. cfg.Shards only seeds the first open; a
+// meta record tracks the live count across Resize calls, and reopening
+// recovers at the recorded count regardless of cfg.Shards.
 func OpenSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config, keys Codec[K], vals Codec[V]) (*Sharded[K, V], error) {
 	if cfg.Durability == nil {
 		return NewSharded[K, V](less, hash, cfg), nil
@@ -126,46 +127,87 @@ func OpenSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint6
 }
 
 // OpenInt64Sharded is OpenSharded for int64 keys.
+//
+// Deprecated: use OpenSharded[int64, V](Int64Less, Hash64, cfg, Int64Codec(), vals).
 func OpenInt64Sharded[V any](cfg Config, vals Codec[V]) (*Sharded[int64, V], error) {
-	return OpenSharded[int64, V](func(a, b int64) bool { return a < b }, thashmap.Hash64, cfg, Int64Codec(), vals)
+	return OpenSharded[int64, V](Int64Less, Hash64, cfg, Int64Codec(), vals)
 }
 
 // OpenString is Open for string keys in lexicographic order.
+//
+// Deprecated: use Open[string, V](StringLess, HashString, cfg, StringCodec(), vals).
 func OpenString[V any](cfg Config, vals Codec[V]) (*Map[string, V], error) {
-	return Open[string, V](func(a, b string) bool { return a < b }, HashString, cfg, StringCodec(), vals)
+	return Open[string, V](StringLess, HashString, cfg, StringCodec(), vals)
 }
 
 // OpenStringSharded is OpenSharded for string keys — the constructor
 // behind the serving layer's byte-string namespaces.
+//
+// Deprecated: use OpenSharded[string, V](StringLess, HashString, cfg, StringCodec(), vals).
 func OpenStringSharded[V any](cfg Config, vals Codec[V]) (*Sharded[string, V], error) {
-	return OpenSharded[string, V](func(a, b string) bool { return a < b }, HashString, cfg, StringCodec(), vals)
+	return OpenSharded[string, V](StringLess, HashString, cfg, StringCodec(), vals)
+}
+
+// shardDirName returns the directory holding shard i's engine in
+// generation gen. Generation 0 keeps the legacy bare name so existing
+// directories reopen unchanged; each completed resize bumps the
+// generation, giving the new shard set fresh directories that can
+// coexist with — and be atomically committed over — the old ones.
+func shardDirName(dir string, i int, gen uint64) string {
+	if gen == 0 {
+		return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.g%d", i, gen))
+}
+
+// parseShardMeta decodes the meta record: "count\n" (legacy, generation
+// 0) or "count gen\n".
+func parseShardMeta(raw []byte) (count int, gen uint64, err error) {
+	fields := strings.Fields(string(raw))
+	switch len(fields) {
+	case 1:
+		count, err = strconv.Atoi(fields[0])
+		return count, 0, err
+	case 2:
+		count, err = strconv.Atoi(fields[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		gen, err = strconv.ParseUint(fields[1], 10, 64)
+		return count, gen, err
+	}
+	return 0, 0, fmt.Errorf("want 1 or 2 fields, got %d", len(fields))
 }
 
 // openIsolatedSharded opens one durability engine per shard under
-// dir/shard-NNN. The shard count is pinned by a meta file written only
-// after the first fully successful open, so a crashed or failed first
-// open (which may leave a partial set of empty shard directories — no
-// data can have been written before Open returned) is retryable, while
-// reopening real data with a different count still fails loudly.
+// generation-suffixed subdirectories of dir. The live shard count is
+// tracked by a meta file: on reopen the meta's count wins over
+// cfg.Shards (which is only the initial count), so a map resized while
+// running reopens at its resized geometry. Directories from any other
+// generation are deleted at open — they are the leftovers of a resize
+// that crashed before (new generation) or just after (old generation)
+// its meta commit. The meta is written only after the first fully
+// successful open, so a crashed or failed first open (which may leave a
+// partial set of empty shard directories — no data can have been
+// written before Open returned) is retryable.
 func openIsolatedSharded[K comparable, V any](less func(a, b K) bool, hash func(K) uint64, cfg Config, keys Codec[K], vals Codec[V]) (*Sharded[K, V], error) {
 	dir := cfg.Durability.Dir
 	n := shard.ResolveShards(cfg.Shards)
+	gen := uint64(0)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	metaPath := filepath.Join(dir, "shards")
 	if raw, err := os.ReadFile(metaPath); err == nil {
-		pinned, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		count, g, perr := parseShardMeta(raw)
 		if perr != nil {
-			return nil, fmt.Errorf("skiphash: unreadable shard-count meta %s: %q", metaPath, raw)
+			return nil, fmt.Errorf("skiphash: unreadable shard-count meta %s: %q: %v", metaPath, raw, perr)
 		}
-		if pinned != n {
-			return nil, fmt.Errorf("skiphash: durability dir %s was written with %d isolated shards but the map resolves to %d; isolated per-shard logs cannot be re-partitioned", dir, pinned, n)
-		}
+		n, gen = count, g
 	} else {
 		// No meta: first open (or a retry after a failed/crashed first
 		// open). Surplus shard directories would silently lose data, so
-		// they are still an error; missing ones are simply created.
+		// they are an error; missing ones are simply created.
 		existing, gerr := filepath.Glob(filepath.Join(dir, "shard-*"))
 		if gerr != nil {
 			return nil, gerr
@@ -174,11 +216,29 @@ func openIsolatedSharded[K comparable, V any](less func(a, b K) bool, hash func(
 			return nil, fmt.Errorf("skiphash: durability dir %s holds %d shard directories but the map resolves to %d shards", dir, len(existing), n)
 		}
 	}
+	// Sweep directories that do not belong to the committed generation:
+	// either side of a crashed resize leaves a complete committed set
+	// plus stale strays, so the sweep never touches live data.
+	live := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		live[shardDirName(dir, i, gen)] = true
+	}
+	strays, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range strays {
+		if !live[d] {
+			if err := os.RemoveAll(d); err != nil {
+				return nil, err
+			}
+		}
+	}
 	stores := make([]*persist.Store[K, V], n)
 	var maxStamp uint64
 	for i := range stores {
 		opts := *cfg.Durability
-		opts.Dir = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+		opts.Dir = shardDirName(dir, i, gen)
 		st, err := persist.Open[K, V](opts, keys, vals)
 		if err != nil {
 			for _, prev := range stores[:i] {
@@ -191,11 +251,11 @@ func openIsolatedSharded[K comparable, V any](less func(a, b K) bool, hash func(
 			maxStamp = ms
 		}
 	}
-	// Every engine opened: pin the shard count (atomically and
+	// Every engine opened: record the shard count (atomically and
 	// dir-fsynced, so a crash here leaves either no meta — retryable —
-	// or a complete one, and power loss cannot silently drop the pin
+	// or a complete one, and power loss cannot silently drop the record
 	// and let a later open re-partition recovered data).
-	if err := persist.WriteFileAtomic(metaPath, []byte(fmt.Sprintf("%d\n", n))); err != nil {
+	if err := persist.WriteFileAtomic(metaPath, []byte(fmt.Sprintf("%d %d\n", n, gen))); err != nil {
 		for _, st := range stores {
 			st.Close()
 		}
@@ -224,7 +284,80 @@ func openIsolatedSharded[K comparable, V any](less func(a, b K) bool, hash func(
 		s.Shard(i).AttachPersistence(st, st)
 		st.Start(snapshotSource(st, s.Shard(i).SnapshotChunks))
 	}
+	installIsolatedResizeHooks(s, dir, metaPath, gen, cfg, keys, vals)
 	return s, nil
+}
+
+// installIsolatedResizeHooks wires Sharded.Resize into the per-shard
+// durability layout: each resize provisions engines for the destination
+// shards in a fresh generation of directories and commits by atomically
+// rewriting the meta record once every group has cut over and the old
+// engines have been flushed and closed, so reopen always sees exactly
+// one complete generation.
+//
+// Durability contract during an isolated resize: writes committed to an
+// already-cut-over group are logged only in the new generation, which
+// becomes the recovered history only when the meta record commits at
+// the end of the resize. A crash inside that window reopens the
+// previous generation — complete up to each group's cutover, because
+// sources keep every key — so writes accepted during the migration
+// itself may be lost, exactly one generation deep. Shared mode has no
+// such window: its single WAL orders every geometry's operations.
+func installIsolatedResizeHooks[K comparable, V any](s *Sharded[K, V], dir, metaPath string, gen uint64, cfg Config, keys Codec[K], vals Codec[V]) {
+	cur := gen
+	var pending []*persist.Store[K, V]
+	s.SetResizeHooks(shard.ResizeHooks[K, V]{
+		Provision: func(idx, newN int, m *core.Map[K, V]) error {
+			opts := *cfg.Durability
+			opts.Dir = shardDirName(dir, idx, cur+1)
+			st, err := persist.Open[K, V](opts, keys, vals)
+			if err != nil {
+				return err
+			}
+			st.TakeRecovered() // fresh directory: nothing to load
+			m.AttachPersistence(st, st)
+			st.Start(snapshotSource(st, m.SnapshotChunks))
+			pending = append(pending, st)
+			return nil
+		},
+		Commit: func(oldN, newN int) error {
+			// The old engines were flushed and closed when Resize
+			// retired their shards. Sync the new generation so its WALs
+			// cover every migrated key, then commit the new geometry
+			// with one atomic meta rewrite; only then is the old
+			// generation garbage.
+			var firstErr error
+			for _, st := range pending {
+				if err := st.Sync(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			pending = nil
+			if firstErr != nil {
+				return firstErr
+			}
+			next := cur + 1
+			if err := persist.WriteFileAtomic(metaPath, []byte(fmt.Sprintf("%d %d\n", newN, next))); err != nil {
+				return err
+			}
+			old := cur
+			cur = next
+			for i := 0; i < oldN; i++ {
+				if err := os.RemoveAll(shardDirName(dir, i, old)); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		},
+		Abort: func(newN int) {
+			// Resize closed any attached engines with the destination
+			// shards; their directories hold no committed history.
+			pending = nil
+			for i := 0; i < newN; i++ {
+				os.RemoveAll(shardDirName(dir, i, cur+1))
+			}
+		},
+	})
 }
 
 // recoveredBatch is how many recovered pairs each load transaction

@@ -15,7 +15,7 @@ import (
 
 func openDurable(t *testing.T, cfg skiphash.Config) *skiphash.Map[int64, int64] {
 	t.Helper()
-	m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	m, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatalf("OpenInt64: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestDurableBatchAtomicity(t *testing.T) {
 	cfg := skiphash.Config{Shards: 4, Durability: &skiphash.Durability{
 		Dir: dir, Fsync: skiphash.FsyncNone, FsyncEvery: 2 * time.Millisecond,
 	}}
-	s, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	s, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestDurableBatchAtomicity(t *testing.T) {
 	}
 	s.Close()
 
-	s2, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	s2, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatalf("recovery after torn crash: %v", err)
 	}
@@ -229,7 +229,7 @@ func TestDurableCorruptionRejected(t *testing.T) {
 	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+	_, err = skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if !errors.Is(err, skiphash.ErrCorrupt) {
 		t.Fatalf("Open on corrupt WAL: %v, want ErrCorrupt", err)
 	}
@@ -238,7 +238,7 @@ func TestDurableCorruptionRejected(t *testing.T) {
 // TestDurabilitySurfaceOnPlainMaps: the durability verbs fail with
 // ErrNotDurable on maps built without Config.Durability.
 func TestDurabilitySurfaceOnPlainMaps(t *testing.T) {
-	m := skiphash.NewInt64[int64](skiphash.Config{})
+	m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{})
 	defer m.Close()
 	if err := m.Snapshot(); !errors.Is(err, skiphash.ErrNotDurable) {
 		t.Fatalf("Snapshot on plain map: %v", err)
@@ -246,29 +246,38 @@ func TestDurabilitySurfaceOnPlainMaps(t *testing.T) {
 	if err := m.Sync(); !errors.Is(err, skiphash.ErrNotDurable) {
 		t.Fatalf("Sync on plain map: %v", err)
 	}
-	s := skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 2})
+	s := skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 2})
 	defer s.Close()
 	if err := s.Snapshot(); !errors.Is(err, skiphash.ErrNotDurable) {
 		t.Fatalf("Snapshot on plain sharded map: %v", err)
 	}
 }
 
-// TestIsolatedShardCountPinned: reopening an isolated durable map with
-// a different shard count must fail instead of splitting key history
-// across incomparable clock domains.
-func TestIsolatedShardCountPinned(t *testing.T) {
+// TestIsolatedShardCountFromMeta: Config.Shards is only the initial
+// count. Reopening an isolated durable map uses the count recorded in
+// the meta file — a differing Config.Shards is ignored rather than
+// re-partitioning (or rejecting) recovered per-shard histories.
+func TestIsolatedShardCountFromMeta(t *testing.T) {
 	dir := t.TempDir()
 	cfg := skiphash.Config{Shards: 4, IsolatedShards: true, Durability: &skiphash.Durability{Dir: dir}}
-	s, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec())
+	s, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Insert(1, 1)
+	s.Insert(1, 11)
 	s.Close()
 	cfg.Shards = 8
-	if _, err := skiphash.OpenInt64Sharded[int64](cfg, skiphash.Int64Codec()); err == nil {
-		t.Fatal("reopening isolated durable map with different shard count succeeded")
+	s, err = skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("reopen with different Config.Shards: %v", err)
 	}
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("reopened with %d shards, want recorded 4", got)
+	}
+	if v, ok := s.Lookup(1); !ok || v != 11 {
+		t.Fatalf("Lookup(1) after reopen = %d, %v", v, ok)
+	}
+	s.Close()
 
 	// A failed/crashed first open leaves some shard directories but no
 	// meta file; retrying with the intended count must succeed (nothing
@@ -280,15 +289,10 @@ func TestIsolatedShardCountPinned(t *testing.T) {
 		}
 	}
 	cfg2 := skiphash.Config{Shards: 4, IsolatedShards: true, Durability: &skiphash.Durability{Dir: dir2}}
-	s2, err := skiphash.OpenInt64Sharded[int64](cfg2, skiphash.Int64Codec())
+	s2, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg2, skiphash.Int64Codec(), skiphash.Int64Codec())
 	if err != nil {
 		t.Fatalf("retry after partial first open: %v", err)
 	}
 	s2.Insert(9, 9)
 	s2.Close()
-	// And now the count is pinned.
-	cfg2.Shards = 2
-	if _, err := skiphash.OpenInt64Sharded[int64](cfg2, skiphash.Int64Codec()); err == nil {
-		t.Fatal("pinned shard count not enforced after meta write")
-	}
 }

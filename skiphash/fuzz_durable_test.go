@@ -31,7 +31,7 @@ func FuzzDurableReplayReads(f *testing.F) {
 			MaxLevel:   8,
 			Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncNone},
 		}
-		m, err := skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+		m, err := skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
@@ -81,7 +81,7 @@ func FuzzDurableReplayReads(f *testing.F) {
 		// Recover by WAL replay and re-run the interleaving over the
 		// replayed state; the model carries across, so the first reads
 		// check recovery itself.
-		m, err = skiphash.OpenInt64[int64](cfg, skiphash.Int64Codec())
+		m, err = skiphash.Open[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
 		if err != nil {
 			t.Fatalf("reopen: %v", err)
 		}

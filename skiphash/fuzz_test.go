@@ -30,7 +30,7 @@ func FuzzOps(f *testing.F) {
 		if len(data) > 1<<12 {
 			data = data[:1<<12]
 		}
-		m := skiphash.NewInt64[int64](skiphash.Config{Buckets: 127, MaxLevel: 8})
+		m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 127, MaxLevel: 8})
 		model := make(map[int64]int64)
 		pos := 0
 		next := func() (byte, bool) {

@@ -1,0 +1,118 @@
+package skiphash_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/skiphash"
+)
+
+// TestIsolatedDurableResizeReopen is the reopen-after-resize property
+// test for isolated durability: interleave random writes with grow and
+// shrink resizes under FsyncAlways, SIGKILL via SimulateCrash, reopen
+// (with a deliberately wrong Config.Shards), and require the recovered
+// map to have the post-resize shard count and exactly the model's
+// contents — every acknowledged write was group-committed, so nothing
+// may be lost.
+func TestIsolatedDurableResizeReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := skiphash.Config{
+		Shards:         2,
+		IsolatedShards: true,
+		Durability:     &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncAlways},
+	}
+	s, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const universe = 512
+	rng := rand.New(rand.NewPCG(11, 13))
+	model := make(map[int64]int64)
+	mutate := func(n int) {
+		for i := 0; i < n; i++ {
+			k := int64(rng.IntN(universe))
+			if rng.IntN(4) == 0 {
+				s.Remove(k)
+				delete(model, k)
+			} else {
+				v := rng.Int64()
+				s.Put(k, v)
+				model[k] = v
+			}
+		}
+	}
+
+	mutate(600)
+	for _, n := range []int{8, 4} {
+		if got, err := s.Resize(n); err != nil || got != n {
+			t.Fatalf("Resize(%d) = %d, %v", n, got, err)
+		}
+		mutate(400)
+	}
+	if err := s.SimulateCrash(); err != nil {
+		t.Fatalf("SimulateCrash: %v", err)
+	}
+	s.Close()
+
+	cfg.Shards = 2 // ignored: the meta record's count (4) must win
+	s, err = skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("reopen after resize+crash: %v", err)
+	}
+	defer s.Close()
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("recovered shard count %d, want 4", got)
+	}
+	for k := int64(0); k < universe; k++ {
+		v, ok := s.Lookup(k)
+		mv, mok := model[k]
+		if ok != mok || (ok && v != mv) {
+			t.Fatalf("key %d: recovered (%d,%v), model (%d,%v)", k, v, ok, mv, mok)
+		}
+	}
+	if err := s.CheckInvariants(skiphash.CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedDurableResizeReopen: in shared mode one WAL orders every
+// shard's operations, so a resize needs no durable bookkeeping at all —
+// after a crash the log replays into whatever geometry the reopening
+// Config asks for.
+func TestSharedDurableResizeReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := skiphash.Config{
+		Shards:     2,
+		Durability: &skiphash.Durability{Dir: dir, Fsync: skiphash.FsyncAlways},
+	}
+	s, err := skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 256; k++ {
+		s.Insert(k, k*7)
+	}
+	if _, err := s.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(256); k < 512; k++ {
+		s.Insert(k, k*7)
+	}
+	if err := s.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	cfg.Shards = 4
+	s, err = skiphash.OpenSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg, skiphash.Int64Codec(), skiphash.Int64Codec())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	for k := int64(0); k < 512; k++ {
+		if v, ok := s.Lookup(k); !ok || v != k*7 {
+			t.Fatalf("Lookup(%d) = %d, %v after reopen", k, v, ok)
+		}
+	}
+}

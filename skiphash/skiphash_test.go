@@ -59,7 +59,7 @@ func factory(cfg skiphash.Config) maptest.Factory {
 	return func() maptest.OrderedMap {
 		cfg := cfg
 		cfg.Buckets = 1021
-		return adapter{m: skiphash.NewInt64[int64](cfg)}
+		return adapter{m: skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, cfg)}
 	}
 }
 
@@ -115,7 +115,7 @@ func TestStringKeys(t *testing.T) {
 }
 
 func ExampleNewInt64() {
-	m := skiphash.NewInt64[string](skiphash.Config{Buckets: 101})
+	m := skiphash.New[int64, string](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 101})
 	m.Insert(3, "three")
 	m.Insert(1, "one")
 	m.Insert(2, "two")
@@ -129,7 +129,7 @@ func ExampleNewInt64() {
 }
 
 func ExampleMap_All() {
-	m := skiphash.NewInt64[string](skiphash.Config{Buckets: 101})
+	m := skiphash.New[int64, string](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 101})
 	m.Insert(2, "two")
 	m.Insert(1, "one")
 	for k, v := range m.All() {
@@ -197,12 +197,12 @@ func (a shardedAdapter) InstallSTMHooks(h stm.Hooks) {
 
 func TestConformanceSharded(t *testing.T) {
 	maptest.RunAll(t, func() maptest.OrderedMap {
-		return shardedAdapter{s: skiphash.NewInt64Sharded[int64](skiphash.Config{Shards: 4, Buckets: 4096})}
+		return shardedAdapter{s: skiphash.NewSharded[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 4, Buckets: 4096})}
 	})
 }
 
 func ExampleNewInt64Sharded() {
-	m := skiphash.NewInt64Sharded[string](skiphash.Config{Shards: 4, Buckets: 1024})
+	m := skiphash.NewSharded[int64, string](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Shards: 4, Buckets: 1024})
 	m.Insert(3, "three")
 	m.Insert(1, "one")
 	m.Insert(2, "two")
@@ -225,7 +225,7 @@ func ExampleNewInt64Sharded() {
 }
 
 func ExampleMap_Atomic() {
-	m := skiphash.NewInt64[int64](skiphash.Config{Buckets: 101})
+	m := skiphash.New[int64, int64](skiphash.Int64Less, skiphash.Hash64, skiphash.Config{Buckets: 101})
 	m.Insert(1, 100)
 	// Move the value from key 1 to key 2 atomically.
 	_ = m.Atomic(func(op *skiphash.Txn[int64, int64]) error {
